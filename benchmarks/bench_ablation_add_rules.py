@@ -1,0 +1,13 @@
+"""Benchmark: add-rule ablation (the 2.9-layer-link argument)."""
+
+from conftest import emit
+
+from repro.experiments import ablation_add_rules
+
+
+def test_ablation_add_rules(once):
+    result = once(ablation_add_rules.run)
+    emit(result.render())
+    by_rule = {r.rule: r for r in result.rows}
+    assert (by_rule["buffer_only"].time_at_3_plus
+            >= by_rule["average_bandwidth"].time_at_3_plus)

@@ -1,0 +1,12 @@
+"""Benchmark: allocator ablation (optimal vs section 2.3 strawmen)."""
+
+from conftest import emit
+
+from repro.experiments import ablation_allocators
+
+
+def test_ablation_allocators(once):
+    result = once(ablation_allocators.run, seeds=(1, 2))
+    emit(result.render())
+    assert set(result.metrics) == {"optimal", "equal_share",
+                                   "base_first"}

@@ -1,0 +1,12 @@
+"""Benchmark: receiver-buffer feedback model ablation."""
+
+from conftest import emit
+
+from repro.experiments import ablation_feedback
+
+
+def test_ablation_feedback(once):
+    result = once(ablation_feedback.run, seeds=(1, 2))
+    emit(result.render())
+    by_mode = {r.mode: r for r in result.rows}
+    assert by_mode["send"].stalls <= by_mode["oracle"].stalls

@@ -1,0 +1,13 @@
+"""Benchmark: non-linear layer spacing analysis (section 7)."""
+
+from conftest import emit
+
+from repro.experiments import ablation_nonlinear
+
+
+def test_ablation_nonlinear(once):
+    result = once(ablation_nonlinear.run)
+    emit(result.render())
+    rows = result.rows()
+    totals = {(r[0], r[1]): r[2] for r in rows}
+    assert totals[("linear", 1)] == totals[("geometric", 1)]

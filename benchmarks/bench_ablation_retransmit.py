@@ -1,0 +1,13 @@
+"""Benchmark: selective base-layer retransmission (section 1.3)."""
+
+from conftest import emit
+
+from repro.experiments import ablation_retransmit
+
+
+def test_ablation_retransmit(once):
+    result = once(ablation_retransmit.run, seeds=(1, 2))
+    emit(result.render())
+    by = {r.scheme: r for r in result.rows}
+    assert by["retransmit base"].retransmitted > 0
+    assert by["no retransmission"].retransmitted == 0

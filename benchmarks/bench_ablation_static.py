@@ -1,0 +1,12 @@
+"""Benchmark: adaptive vs fixed-quality streaming."""
+
+from conftest import emit
+
+from repro.experiments import ablation_static
+
+
+def test_ablation_static(once):
+    result = once(ablation_static.run, seeds=(1, 2))
+    emit(result.render())
+    adaptive = next(r for r in result.rows if r.scheme == "adaptive")
+    assert adaptive.stalls == 0

@@ -1,0 +1,11 @@
+"""Benchmark: the quality adapter over RAP vs window AIMD (section 7)."""
+
+from conftest import emit
+
+from repro.experiments import ablation_transport
+
+
+def test_ablation_transport(once):
+    result = once(ablation_transport.run, seeds=(1, 2))
+    emit(result.render())
+    assert {r.transport for r in result.rows} == {"rap", "window-aimd"}

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 1 (RAP sawtooth)."""
+
+from conftest import emit
+
+from repro.experiments import fig01_rap_sawtooth
+
+
+def test_fig01_rap_sawtooth(once):
+    result = once(fig01_rap_sawtooth.run)
+    emit(result.render())
+    assert result.backoffs > 0
+    assert result.utilization > 0.7

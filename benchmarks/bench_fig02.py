@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 2 (mechanism overview, fluid model)."""
+
+from conftest import emit
+
+from repro.experiments import fig02_overview
+
+
+def test_fig02_overview(once):
+    result = once(fig02_overview.run)
+    emit(result.render())
+    assert result.tracer.get("layers").final() == 2

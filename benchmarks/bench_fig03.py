@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3 (phase geometry, analytic)."""
+
+from conftest import emit
+
+from repro.experiments import fig03_phase_geometry
+
+
+def test_fig03_phase_geometry(once):
+    result = once(fig03_phase_geometry.run)
+    emit(result.render())
+    assert result.draining_deficit_area > 0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 4 (optimal buffer distribution)."""
+
+from conftest import emit
+
+from repro.experiments import fig04_optimal_alloc
+
+
+def test_fig04_optimal_alloc(once):
+    result = once(fig04_optimal_alloc.run)
+    emit(result.render())
+    assert result.shares[0] == max(result.shares)

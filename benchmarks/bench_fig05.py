@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 (sequential fill / reverse drain)."""
+
+from conftest import emit
+
+from repro.experiments import fig05_fill_drain
+
+
+def test_fig05_fill_drain(once):
+    result = once(fig05_fill_drain.run)
+    emit(result.render())
+    t = result.fluid.tracer
+    assert t.get("buffer_L0").mean() >= t.get("buffer_L2").mean()

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 6 (filling with smoothing)."""
+
+from conftest import emit
+
+from repro.experiments import fig06_smoothing_phases
+
+
+def test_fig06_smoothing_phases(once):
+    result = once(fig06_smoothing_phases.run)
+    emit(result.render())
+    assert result.fluid.tracer.get("total_buffer").max() > 0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7 (double-backoff scenarios)."""
+
+from conftest import emit
+
+from repro.experiments import fig07_double_backoff
+
+
+def test_fig07_double_backoff(once):
+    result = once(fig07_double_backoff.run)
+    emit(result.render())
+    assert len(result.rows) >= 3

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 (buffer states for k backoffs)."""
+
+from conftest import emit
+
+from repro.experiments import fig08_buffer_states
+
+
+def test_fig08_buffer_states(once):
+    result = once(fig08_buffer_states.run)
+    emit(result.render())
+    assert len(result.rows()) == 2 * result.k_max

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9 (states ordered by total)."""
+
+from conftest import emit
+
+from repro.experiments import fig09_state_order
+
+
+def test_fig09_state_order(once):
+    result = once(fig09_state_order.run)
+    emit(result.render())
+    totals = [row[1] for row in result.rows()]
+    assert totals == sorted(totals)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 10 (monotone filling steps)."""
+
+from conftest import emit
+
+from repro.experiments import fig10_filling_steps
+
+
+def test_fig10_filling_steps(once):
+    result = once(fig10_filling_steps.run)
+    emit(result.render())
+    totals = [row[2] for row in result.rows()]
+    assert totals == sorted(totals)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (the 40 s K_max=2 T1 trace)."""
+
+from conftest import emit
+
+from repro.experiments import fig11_trace_kmax2
+
+
+def test_fig11_trace_kmax2(once):
+    result = once(fig11_trace_kmax2.run)
+    emit(result.render())
+    assert result.session.playout.stall_count == 0
+    t = result.session.tracer
+    assert t.get("buffer_L0").mean() >= t.get("buffer_L3").mean()

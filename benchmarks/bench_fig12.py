@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 12 (K_max smoothing sweep)."""
+
+from conftest import emit
+
+from repro.experiments import fig12_kmax_sweep
+
+
+def test_fig12_kmax_sweep(once):
+    result = once(fig12_kmax_sweep.run)
+    emit(result.render())
+    by_k = {row.k_max: row for row in result.rows}
+    # The smoothing claim: K_max=4 changes quality no more often than
+    # K_max=2.
+    assert by_k[4].quality_changes <= by_k[2].quality_changes

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 13 (responsiveness to a CBR burst)."""
+
+from conftest import emit
+
+from repro.experiments import fig13_cbr_step
+
+
+def test_fig13_cbr_step(once):
+    result = once(fig13_cbr_step.run)
+    emit(result.render())
+    phases = result.phase_means()
+    assert (phases["mean_layers_during_cbr"]
+            < phases["mean_layers_before_cbr"])
+    assert (phases["mean_layers_after_cbr"]
+            > phases["mean_layers_during_cbr"])
+    assert result.session.playout.stall_count == 0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 14 (scenario-2 geometry, appendix)."""
+
+from conftest import emit
+
+from repro.experiments import fig14_scenario2_geometry
+
+
+def test_fig14_scenario2_geometry(once):
+    result = once(fig14_scenario2_geometry.run)
+    emit(result.render())

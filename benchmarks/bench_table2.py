@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (drops due to poor distribution).
+
+Shortened for the benchmark run (3 seeds, K_max in {2, 4, 8}); the
+full-matrix numbers live in EXPERIMENTS.md.
+"""
+
+from conftest import emit
+
+from repro.experiments import table2_drop_causes
+
+
+def test_table2_drop_causes(once):
+    result = once(table2_drop_causes.run, k_values=(2, 4, 8),
+                  seeds=(1, 2, 3))
+    emit(result.render())
+    for (test, k), metrics in result.metrics.items():
+        poor = metrics.poor_distribution_percent()
+        if poor is not None:
+            assert poor <= 30.0, (test, k)

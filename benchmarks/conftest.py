@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (with
+moderately shortened runs where the full version takes minutes) and
+prints the rendered result, so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the whole evaluation section in one command. Timings reported
+by pytest-benchmark measure the cost of regenerating each artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Simulation experiments are deterministic and expensive; repeated
+    rounds would only multiply runtime without changing the result.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(text: str, head: int = 0) -> None:
+    """Print a rendered artifact (optionally only its first lines)."""
+    if head:
+        lines = text.splitlines()
+        text = "\n".join(lines[:head] + ["..."] if len(lines) > head
+                         else lines)
+    print()
+    print(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """``once(fn, *args, **kwargs)`` -> result, timed as one round."""
+    def _once(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _once

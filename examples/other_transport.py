@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quality adaptation over a different AIMD transport (section 7).
+
+The adapter never asks *how* its transport controls congestion -- only
+for a clock, a rate, a slope estimate, and delivery/backoff events. This
+example streams the same clip over RAP (rate-based, the paper's choice)
+and over a TCP-like window-based AIMD transport, side by side.
+
+Run:  python examples/other_transport.py
+"""
+
+from repro.analysis import format_kv, sparkline
+from repro.experiments.common import PaperWorkload, WorkloadConfig
+from repro.transport import RapSource, WindowAimdSource
+
+
+def stream_over(name, transport_cls):
+    workload = PaperWorkload(WorkloadConfig(seed=1, duration=40.0),
+                             transport_cls=transport_cls)
+    result = workload.run()
+    print(f"--- {name} ---")
+    print("  layers: " + sparkline(result.tracer.get("layers").values,
+                                   width=70))
+    summary = result.summary()
+    print(format_kv({
+        "mean_rate_Bps": summary["mean_rate"],
+        "mean_layers": summary["mean_layers"],
+        "quality_changes": summary["quality_changes"],
+        "stalls": summary["stalls_receiver"],
+    }))
+
+
+def main() -> None:
+    stream_over("RAP (rate-based AIMD, the paper's transport)",
+                RapSource)
+    stream_over("Window AIMD (TCP-like ACK clocking)",
+                WindowAimdSource)
+    print("Same adapter, same formulas -- the slope S = P/srtt^2 and the")
+    print("halve-on-congestion behaviour are all it relies on. RAP's")
+    print("smooth pacing buys visibly steadier quality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package can be installed in
+environments without the ``wheel`` package (where PEP 517 editable installs
+fail): ``python setup.py develop`` there, ``pip install -e .`` elsewhere.
+"""
+
+from setuptools import setup
+
+setup()

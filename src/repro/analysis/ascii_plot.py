@@ -1,0 +1,101 @@
+"""ASCII time-series rendering for terminal experiment output."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.trace import TimeSeries
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode sparkline, resampled to ``width`` characters."""
+    if not values:
+        return ""
+    resampled = _resample(list(values), width)
+    lo, hi = min(resampled), max(resampled)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(resampled)
+    chars = []
+    for v in resampled:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def _resample(values: list[float], width: int) -> list[float]:
+    if len(values) <= width:
+        return values
+    out = []
+    for i in range(width):
+        lo = i * len(values) // width
+        hi = max(lo + 1, (i + 1) * len(values) // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def ascii_chart(
+    series: TimeSeries,
+    width: int = 72,
+    height: int = 12,
+    title: Optional[str] = None,
+    y_label: str = "",
+    overlay: Optional[TimeSeries] = None,
+) -> str:
+    """A multi-line ASCII chart of a time series.
+
+    ``overlay`` (rendered with ``o``) shares the axes with the main
+    series (rendered with ``*``) -- used for rate-vs-consumption plots.
+    """
+    if len(series) == 0:
+        return f"{title or series.name}: (no data)\n"
+    t0, t1 = series.times[0], series.times[-1]
+    span_t = max(t1 - t0, 1e-12)
+
+    def cells(ts: TimeSeries) -> list[float]:
+        return [
+            ts.value_at(t0 + span_t * i / (width - 1))
+            for i in range(width)
+        ]
+
+    main = cells(series)
+    over = cells(overlay) if overlay is not None and len(overlay) else None
+    everything = main + (over or [])
+    lo = min(0.0, min(everything))
+    hi = max(everything)
+    span_v = max(hi - lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(values: list[float], mark: str) -> None:
+        for x, v in enumerate(values):
+            y = int((v - lo) / span_v * (height - 1))
+            grid[height - 1 - y][x] = mark
+
+    if over is not None:
+        plot(over, "o")
+    plot(main, "*")
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:,.0f}"
+    bottom_label = f"{lo:,.0f}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |{''.join(row)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    lines.append(f"{'':>{pad}}  t={t0:.1f}s{'':>{max(0, width - 18)}}"
+                 f"t={t1:.1f}s")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,52 @@
+"""Plain-text table/record formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        out.append(line(row))
+    return "\n".join(out) + "\n"
+
+
+def format_kv(record: dict, title: Optional[str] = None) -> str:
+    """Render a flat dict as aligned key/value lines."""
+    out = []
+    if title:
+        out.append(title)
+    if record:
+        width = max(len(str(k)) for k in record)
+        for key, value in record.items():
+            out.append(f"  {str(key):<{width}} : {_cell(value)}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,28 @@
+"""Baselines the paper argues against (and one it implies).
+
+- :mod:`repro.baselines.allocators` -- the two strawman inter-layer
+  buffer distributions of section 2.3: *equal share* (every layer buffers
+  the same amount; the top layer's buffering is wasted when it is
+  dropped) and *base first* (everything in the base layer; too few
+  buffering layers to cover a deep deficit). Selected via
+  ``QAConfig(allocator=...)``.
+- The *average bandwidth* add rule of section 3.1 lives in
+  :mod:`repro.core.add_drop` (``QAConfig(add_rule="average_bandwidth")``).
+- :mod:`repro.baselines.static_stream` -- no quality adaptation at all: a
+  fixed-quality stream over the same congestion-controlled transport,
+  the situation the paper's introduction motivates against.
+"""
+
+from repro.baselines.allocators import (
+    BaseFirstFillingPolicy,
+    EqualShareFillingPolicy,
+    SimpleDrainingPlanner,
+)
+from repro.baselines.static_stream import FixedQualityAdapter
+
+__all__ = [
+    "EqualShareFillingPolicy",
+    "BaseFirstFillingPolicy",
+    "SimpleDrainingPlanner",
+    "FixedQualityAdapter",
+]

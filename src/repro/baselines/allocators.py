@@ -1,0 +1,165 @@
+"""Strawman inter-layer buffer allocators (section 2.3).
+
+The paper motivates its optimal allocation with two simple schemes that
+fail in instructive ways:
+
+- **Equal share** ("Dropping layers with buffered data"): every active
+  layer gets the same buffer target. When the highest layer is dropped
+  after a backoff, its buffered data no longer assists recovery, so
+  buffering efficiency suffers.
+- **Base first** ("Insufficient distribution of buffered data"): all
+  buffering concentrates in the base layer. With fewer buffering layers
+  than the deficit needs (a layer can only be played from its own buffer
+  at rate C), upper layers must be fed entirely from the network and get
+  dropped even when total buffering was plentiful.
+
+Both reuse the optimal policy's *total* requirement (the same state
+ladder) and only change how it is distributed, so comparisons isolate the
+distribution decision -- exactly the ablation Table 2 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import formulas
+from repro.core.draining import DrainingPlanner, DrainPlan
+from repro.core.filling import FillingDecision, FillingPolicy
+from repro.core.formulas import SCENARIO_ONE, SCENARIO_TWO
+from repro.core.states import StateSequence
+
+
+class _RedistributedFillingPolicy(FillingPolicy):
+    """Shares the optimal policy's ladder but redistributes each state's
+    total across layers according to ``_distribute``."""
+
+    def _distribute(self, total: float, active_layers: int) -> list[float]:
+        raise NotImplementedError
+
+    def choose(
+        self,
+        rate: float,
+        buffers: Sequence[float],
+        active_layers: int,
+        slope: float,
+        needs_floor: Optional[Sequence[bool]] = None,
+        safety_levels: Optional[Sequence[float]] = None,
+    ) -> FillingDecision:
+        cfg = self.config
+        na = active_layers
+        buffers = list(buffers[:na])
+        total = sum(buffers)
+        consumption = na * cfg.layer_rate
+
+        if needs_floor is None:
+            needs_floor = [True] * na
+        if safety_levels is None:
+            safety_levels = buffers
+        floors = [cfg.floor_bytes] * na
+        floors[na - 1] = min(cfg.floor_bytes, float(cfg.packet_size))
+        floors[0] = cfg.base_floor_bytes
+        starving = [i for i in range(na)
+                    if needs_floor[i] and safety_levels[i] < floors[i]]
+        if starving:
+            layer = min(starving, key=lambda i: safety_levels[i])
+            return FillingDecision(layer, 0, 0, SCENARIO_ONE,
+                                   maintenance=True)
+
+        s1_k, req1 = self._first_unsatisfied(
+            rate, consumption, slope, total, SCENARIO_ONE, cap=cfg.k_max)
+        s2_k, req2 = self._first_unsatisfied(
+            rate, consumption, slope, total, SCENARIO_TWO, cap=None)
+        s1_pending = s1_k <= cfg.k_max
+        if s1_pending and req1 <= req2:
+            scenario, req = SCENARIO_ONE, req1
+        else:
+            scenario, req = SCENARIO_TWO, req2
+
+        targets = self._distribute(req, na)
+        for layer in range(na):
+            if targets[layer] > buffers[layer] + formulas.EPSILON:
+                return FillingDecision(layer, s1_k, s2_k, scenario)
+        return FillingDecision(None, s1_k, s2_k, scenario)
+
+
+class EqualShareFillingPolicy(_RedistributedFillingPolicy):
+    """Every layer buffers ``total / na`` (section 2.3, first strawman)."""
+
+    def _distribute(self, total: float, active_layers: int) -> list[float]:
+        return [total / active_layers] * active_layers
+
+
+class BaseFirstFillingPolicy(_RedistributedFillingPolicy):
+    """All buffering goes to the base layer (second strawman)."""
+
+    def _distribute(self, total: float, active_layers: int) -> list[float]:
+        return [total] + [0.0] * (active_layers - 1)
+
+
+class SimpleDrainingPlanner(DrainingPlanner):
+    """Draining without the reverse-path targets.
+
+    ``order="equal"`` spreads each period's deficit evenly over layers;
+    ``order="bottom_up"`` drains the base first (the natural companion of
+    the base-first allocator). The base stall-protection margin is still
+    honoured -- the baselines are strawmen, not saboteurs.
+    """
+
+    def __init__(self, config, order: str = "equal") -> None:
+        super().__init__(config)
+        if order not in ("equal", "bottom_up", "top_down"):
+            raise ValueError(f"unknown drain order {order!r}")
+        self.order = order
+
+    def plan(
+        self,
+        rate: float,
+        buffers: Sequence[float],
+        active_layers: int,
+        period: float,
+        sequence: StateSequence,
+        base_protection: float = 0.0,
+    ) -> DrainPlan:
+        cfg = self.config
+        na = active_layers
+        consumption = na * cfg.layer_rate
+        need = max(0.0, (consumption - rate) * period)
+        levels = [max(0.0, b) for b in buffers[:na]]
+        cap = cfg.layer_rate * period
+        floor = cfg.base_floor_bytes + max(0.0, base_protection)
+        available = [
+            max(0.0, min(cap, levels[i] - (floor if i == 0 else 0.0)))
+            for i in range(na)
+        ]
+
+        drain = [0.0] * na
+        remaining = need
+        if self.order == "equal":
+            # Waterfill evenly across layers.
+            active = list(range(na))
+            while remaining > formulas.EPSILON and active:
+                share = remaining / len(active)
+                progressed = False
+                for i in list(active):
+                    take = min(share, available[i] - drain[i])
+                    if take > formulas.EPSILON:
+                        drain[i] += take
+                        remaining -= take
+                        progressed = True
+                    if available[i] - drain[i] <= formulas.EPSILON:
+                        active.remove(i)
+                if not progressed:
+                    break
+        else:
+            order = (range(na) if self.order == "bottom_up"
+                     else range(na - 1, -1, -1))
+            for i in order:
+                if remaining <= formulas.EPSILON:
+                    break
+                take = min(available[i], remaining)
+                drain[i] += take
+                remaining -= take
+
+        quotas = [max(0.0, cap - drain[i]) for i in range(na)]
+        return DrainPlan(drain=drain, quotas=quotas, shortfall=remaining,
+                         state_index=-1)

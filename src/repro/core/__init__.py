@@ -1,0 +1,38 @@
+"""The paper's primary contribution: layered quality adaptation.
+
+Module map (paper section in parentheses):
+
+- :mod:`repro.core.units` -- unit helpers (KB/s, Kb/s ...).
+- :mod:`repro.core.config` -- :class:`QAConfig`, all tunables in one place.
+- :mod:`repro.core.formulas` -- Appendix A: deficit triangles, optimal
+  per-layer shares, scenario-1/2 totals and shares (A.1-A.5).
+- :mod:`repro.core.states` -- optimal buffer states and the maximally
+  efficient monotone filling path (Figures 8-10).
+- :mod:`repro.core.buffers` -- receiver-buffer bookkeeping shared by the
+  server-side estimator and the actual receiver.
+- :mod:`repro.core.add_drop` -- coarse-grain layer add/drop rules
+  (sections 2.1, 2.2, 3.1).
+- :mod:`repro.core.filling` -- the per-packet fine-grain allocation of
+  section 4.1 (the SendPacket pseudocode).
+- :mod:`repro.core.draining` -- the reverse traversal of section 4.2.
+- :mod:`repro.core.adapter` -- :class:`QualityAdapter`, gluing the above
+  into the server-side mechanism driven by a congestion controller.
+- :mod:`repro.core.metrics` -- buffering-efficiency and drop-cause metrics
+  used by Tables 1 and 2.
+- :mod:`repro.core.fluid` -- a fluid (non-packet) model of the mechanism
+  used for the paper's illustrative figures (2, 5, 6).
+"""
+
+from repro.core.config import QAConfig
+from repro.core.adapter import QualityAdapter
+from repro.core.metrics import QualityMetrics, DropCause
+from repro.core.states import BufferState, StateSequence
+
+__all__ = [
+    "QAConfig",
+    "QualityAdapter",
+    "QualityMetrics",
+    "DropCause",
+    "BufferState",
+    "StateSequence",
+]

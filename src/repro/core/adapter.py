@@ -1,0 +1,532 @@
+"""The quality adaptation mechanism itself (sections 2-4 end to end).
+
+:class:`QualityAdapter` is the server-side controller. It is transport
+agnostic: it consumes three callables (current time, current transmission
+rate, current AIMD slope estimate) plus two event streams (per-layer
+delivery confirmations and backoff notifications), and it answers one
+question per transmission opportunity -- *which layer does the next packet
+carry?*
+
+Control flow, mirroring the paper:
+
+- **Filling phase** (rate >= na*C): every packet is assigned by the
+  section 4.1 per-packet algorithm (:class:`~repro.core.filling.
+  FillingPolicy`), stepping the receiver's buffer distribution through the
+  maximally efficient sequence of optimal states. When all ``K_max``
+  targets are met, a layer is added (section 3.1's buffer-only rule by
+  default).
+- **Backoff**: the rate halves; the section 2.2 drop rule fires
+  immediately; the state path is frozen at the pre-backoff rate so the
+  draining phase can walk it backwards.
+- **Draining phase** (rate < na*C): every ``drain_period`` the
+  section 4.2 planner decides how much each layer's buffer contributes,
+  and packets are spent against the resulting per-layer quotas. Critical
+  situations (further backoffs, slope mis-estimates, planner shortfall,
+  estimator underflow) drop the top layer as soon as they are detected.
+
+The adapter tracks its own *estimate* of the receiver's buffers:
+deliveries come from ACKs (one RTT stale, hence conservative) and
+consumption from the playout clock agreed at session start. An ``oracle``
+feedback mode (deliveries applied at send time) exists for tests and
+sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import formulas
+from repro.core.add_drop import AddDropPolicy
+from repro.core.buffers import LayerBufferSet
+from repro.core.config import QAConfig
+from repro.core.draining import DrainingPlanner, DrainPlan
+from repro.core.filling import FillingPolicy
+from repro.core.metrics import DropCause, DropEvent, QualityMetrics
+from repro.core.states import StateSequence
+
+Clock = Callable[[], float]
+RateFn = Callable[[], float]
+SlopeFn = Callable[[], float]
+EventHook = Callable[[float, str, dict], None]
+
+
+class QualityAdapter:
+    """Server-side layered quality adaptation controller."""
+
+    def __init__(
+        self,
+        config: QAConfig,
+        now_fn: Clock,
+        rate_fn: RateFn,
+        slope_fn: SlopeFn,
+        start_time: float = 0.0,
+        on_event: Optional[EventHook] = None,
+    ) -> None:
+        self.config = config
+        self.now_fn = now_fn
+        self.rate_fn = rate_fn
+        self.slope_fn = slope_fn
+        self.on_event = on_event
+
+        self.buffers = LayerBufferSet(config.layer_rate, config.max_layers)
+        self.metrics = QualityMetrics()
+        self.filling_policy, self.planner = self._make_policies(config)
+        self.add_drop = AddDropPolicy(config)
+
+        self.active_layers = 0
+        self.playout_started = False
+        self.playout_start_time = start_time + config.startup_delay
+        self.average_rate = 0.0
+        self.sent_bytes_per_layer = [0.0] * config.max_layers
+        self._shortfall_debt = [0.0] * config.max_layers
+        self._inflight = [0.0] * config.max_layers
+        self._slope_avg: Optional[float] = None
+        self._plan_shortfall_debt = 0.0
+        self._delivered_accum = 0.0
+        self._last_average_update = start_time
+        #: Bytes of lost low-layer data owed a retransmission (§1.3).
+        self._retransmit_debt = [0.0] * config.max_layers
+        self.retransmitted_bytes = 0.0
+
+        self._frozen_rate: Optional[float] = None
+        self._sequence: Optional[StateSequence] = None
+        self._plan: Optional[DrainPlan] = None
+        self._plan_until = -1.0
+        self._quota: list[float] = []
+
+        self._activate_layer(start_time)  # the base layer is always sent
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _make_policies(config: QAConfig):
+        """Pick the filling/draining pair for the configured allocator.
+
+        The strawman allocators live in :mod:`repro.baselines` (imported
+        lazily to avoid a package cycle).
+        """
+        if config.allocator == "equal_share":
+            from repro.baselines.allocators import (
+                EqualShareFillingPolicy, SimpleDrainingPlanner)
+            return (EqualShareFillingPolicy(config),
+                    SimpleDrainingPlanner(config, order="equal"))
+        if config.allocator == "base_first":
+            from repro.baselines.allocators import (
+                BaseFirstFillingPolicy, SimpleDrainingPlanner)
+            return (BaseFirstFillingPolicy(config),
+                    SimpleDrainingPlanner(config, order="bottom_up"))
+        return FillingPolicy(config), DrainingPlanner(config)
+
+    @property
+    def consumption(self) -> float:
+        """Total consumption rate na*C in bytes/s."""
+        return self.config.consumption(self.active_layers)
+
+    @property
+    def slope(self) -> float:
+        """Smoothed AIMD slope S used by every buffering decision.
+
+        The instantaneous estimate (``P/srtt^2`` for RAP) swings with
+        queueing delay; using it raw makes filling targets and the drop
+        rule disagree across an RTT spike (the paper's "estimate of the
+        slope ... may be incorrect" critical situation). A slow EWMA
+        keeps the two consistent.
+        """
+        if self.config.slope_override is not None:
+            return self.config.slope_override
+        if self._slope_avg is None:
+            self._slope_avg = self.slope_fn()
+        return self._slope_avg
+
+    def _update_slope(self) -> None:
+        if self.config.slope_override is not None:
+            return
+        sample = self.slope_fn()
+        if self._slope_avg is None:
+            self._slope_avg = sample
+        else:
+            self._slope_avg += 0.05 * (sample - self._slope_avg)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.on_event is not None:
+            self.on_event(self.now_fn(), kind, fields)
+
+    def buffer_levels(self) -> list[float]:
+        """Per-layer buffered-byte estimates for the active layers."""
+        return self.buffers.levels(self.active_layers)
+
+    def is_filling(self) -> bool:
+        """Filling phase: nothing drains before playout starts, and once
+        it has, the phase is set by rate vs. consumption (Figure 3)."""
+        if not self.playout_started:
+            return True
+        return self.rate_fn() >= self.consumption
+
+    # -------------------------------------------------------- layer moves
+
+    def _activate_layer(self, now: float) -> None:
+        layer = self.active_layers
+        self.buffers.activate(layer, now)
+        # A new layer plays out "immediately" (section 2.1) -- in packet
+        # terms, as soon as its first data reaches the receiver; see
+        # :meth:`on_delivered`.
+        self.active_layers += 1
+        self._shortfall_debt[layer] = 0.0
+        if self._frozen_rate is not None:
+            self._refreeze_sequence()
+        self._invalidate_plan()
+        if layer > 0:  # the initial base-layer activation is not an "add"
+            self.metrics.record_add(now, layer)
+            self._emit("add", layer=layer, active=self.active_layers)
+
+    def _base_protected_bytes(self) -> float:
+        """Base-layer bytes unusable for recovery (stall-margin + flight)."""
+        if self.config.feedback == "ack":
+            margin = self.config.base_floor_bytes
+        else:
+            margin = self.config.base_floor_bytes + self._inflight[0]
+        return min(self.buffers.level(0), margin)
+
+    def _drainable_total(self) -> float:
+        """Receiver buffering actually available to absorb a deficit."""
+        return max(0.0, self.buffers.total(self.active_layers)
+                   - self._base_protected_bytes())
+
+    def _drop_top_layer(self, cause: DropCause) -> None:
+        if self.active_layers <= 1:
+            return  # the base layer is always sent
+        now = self.now_fn()
+        layer = self.active_layers - 1
+        # Measure what the receiver actually holds: data still in flight
+        # for the dropped layer arrives and is played out, so it is not
+        # wasted buffering.
+        safety = self.safety_levels()
+        buf_total = sum(safety)
+        buf_drop = safety[layer]
+        required = formulas.draining_recovery_requirement(
+            self.rate_fn(), self.consumption, self.slope)
+        self.metrics.record_drop(DropEvent(
+            time=now, layer=layer, buf_drop=buf_drop, buf_total=buf_total,
+            required=required, cause=cause,
+            drainable=self._drainable_total()))
+        self.buffers.deactivate(layer)
+        self.active_layers -= 1
+        self._shortfall_debt[layer] = 0.0
+        self._retransmit_debt[layer] = 0.0
+        self._emit("drop", layer=layer, cause=cause.value,
+                   active=self.active_layers, buf_drop=buf_drop,
+                   buf_total=buf_total, required=required)
+        if self._frozen_rate is not None:
+            self._refreeze_sequence()
+        self._invalidate_plan()
+
+    def _refreeze_sequence(self) -> None:
+        assert self._frozen_rate is not None
+        self._sequence = StateSequence(
+            self._frozen_rate, self.config.layer_rate, self.active_layers,
+            self.slope, self.config.k_max)
+
+    def _invalidate_plan(self) -> None:
+        self._plan = None
+        self._plan_until = -1.0
+        self._quota = []
+
+    # ------------------------------------------------------ transport API
+
+    def pick_layer(self, seq: int) -> Optional[dict]:
+        """Assign the next packet to a layer (transmission opportunity).
+
+        Returns the packet metadata ``{"layer": i, "active": na}``. A
+        stored-video server always has data, so the only ``None`` case
+        is receiver flow control (``max_buffer_seconds``): the chosen
+        layer's buffer is at its cap and the slot is left idle.
+        """
+        now = self.now_fn()
+        self._advance_clocks(now)
+        layer = self._pick_retransmission()
+        if layer is None:
+            if self.is_filling():
+                layer = self._pick_filling(now)
+            else:
+                layer = self._pick_draining(now)
+        if layer is not None and self._flow_control_full(layer):
+            # Receiver full: idle this slot. Return any draining quota
+            # the pick already spent.
+            if not self.is_filling() and layer < len(self._quota):
+                self._quota[layer] += self.config.packet_size
+            return None
+        self.sent_bytes_per_layer[layer] += self.config.packet_size
+        if self.config.feedback != "oracle":
+            # Oracle mode models instant delivery: nothing is in flight.
+            self._inflight[layer] += self.config.packet_size
+        if self.config.feedback in ("send", "oracle"):
+            # The server knows its own transmission history (the paper's
+            # model): credit the receiver estimate right away.
+            self.buffers.deliver(layer, self.config.packet_size)
+            self._start_consumption_if_due(layer)
+        return {"layer": layer, "active": self.active_layers}
+
+    def on_delivered(self, layer: int, nbytes: int) -> None:
+        """An ACK confirmed ``nbytes`` of ``layer`` reached the receiver."""
+        if layer >= self.config.max_layers:
+            return
+        self._delivered_accum += nbytes
+        self._inflight[layer] = max(0.0, self._inflight[layer] - nbytes)
+        if self.config.feedback != "ack":
+            return  # already credited at send time
+        if not self.buffers.is_active(layer):
+            return  # data for an already-dropped layer
+        self.buffers.deliver(layer, nbytes)
+        self._start_consumption_if_due(layer)
+
+    def on_lost(self, layer: int, nbytes: int) -> None:
+        """The congestion controller detected the loss of layer data."""
+        if layer >= self.config.max_layers:
+            return
+        self._inflight[layer] = max(0.0, self._inflight[layer] - nbytes)
+        # The drain plan assumed these bytes would reach the layer; owe
+        # them back so a lossy period does not silently starve it.
+        if layer < len(self._quota):
+            self._quota[layer] += nbytes
+        # Selective retransmission (§1.3): lost data from protected low
+        # layers is re-sent with priority at the next opportunities.
+        if (layer < self.config.retransmit_layers
+                and self.buffers.is_active(layer)):
+            self._retransmit_debt[layer] += nbytes
+        if self.config.feedback != "send":
+            return  # "ack" never credited it; "oracle" ignores losses
+        self.buffers.withdraw(layer, nbytes)
+
+    def _flow_control_full(self, layer: int) -> bool:
+        """Receiver flow control: is this layer's buffer at its cap?"""
+        cap_seconds = self.config.max_buffer_seconds
+        if cap_seconds is None:
+            return False
+        return (self.buffers.level(layer)
+                >= cap_seconds * self.config.layer_rate)
+
+    def _pick_retransmission(self) -> Optional[int]:
+        """Serve outstanding retransmission debt, lowest layer first."""
+        for layer in range(min(self.config.retransmit_layers,
+                               self.active_layers)):
+            if self._retransmit_debt[layer] >= self.config.packet_size:
+                self._retransmit_debt[layer] -= self.config.packet_size
+                self.retransmitted_bytes += self.config.packet_size
+                return layer
+        return None
+
+    def _start_consumption_if_due(self, layer: int) -> None:
+        """Playout of a layer begins once it has a cushion of data.
+
+        A freshly added layer first bootstraps ``floor_bytes`` of buffer
+        (a fraction of a second); starting its playout from zero would
+        make it underflow on the very next packet gap. The base layer at
+        playout start already holds the whole startup-delay's worth.
+        """
+        if not self.playout_started or self.buffers.is_consuming(layer):
+            return
+        threshold = (0.0 if layer == 0
+                     else float(self.config.packet_size))
+        if self.buffers.delivered(layer) >= max(threshold,
+                                                formulas.EPSILON):
+            self.buffers.start_consuming(layer, self.now_fn())
+
+    def on_backoff(self, new_rate: float) -> None:
+        """The congestion controller halved its rate."""
+        now = self.now_fn()
+        self._advance_clocks(now)
+        # Freeze the state path at the pre-backoff rate: the draining
+        # phase walks the same path the filling phase climbed.
+        self._frozen_rate = max(new_rate * 2.0, self.consumption)
+        self._refreeze_sequence()
+        self._emit("backoff", rate=new_rate)
+        self._apply_drop_rule(new_rate)
+        self._invalidate_plan()
+
+    def tick(self) -> None:
+        """Periodic housekeeping; call every ``config.drain_period``."""
+        now = self.now_fn()
+        self._advance_clocks(now)
+        rate = self.rate_fn()
+        # The "average available bandwidth" of section 3.1 is measured
+        # from acknowledged deliveries: the instantaneous send rate
+        # overshoots the path capacity between loss detections, which
+        # would make the average-bandwidth add rule look better than it
+        # is. (Without ACK feedback -- oracle mode -- fall back to the
+        # send rate.)
+        elapsed = now - self._last_average_update
+        if elapsed > 0:
+            if self.config.feedback == "oracle":
+                sample = rate
+            else:
+                sample = self._delivered_accum / elapsed
+            self._delivered_accum = 0.0
+            self._last_average_update = now
+            gain = self.config.average_bandwidth_gain
+            self.average_rate += gain * (sample - self.average_rate)
+        self._update_slope()
+
+        if self.is_filling():
+            self._maybe_add(rate)
+        else:
+            self._apply_drop_rule(rate)
+            self._ensure_plan(now)
+
+    # ----------------------------------------------------------- internals
+
+    def _advance_clocks(self, now: float) -> None:
+        if not self.playout_started and now >= self.playout_start_time:
+            self.playout_started = True
+            self.metrics.startup_latency = self.config.startup_delay
+            for layer in range(self.active_layers):
+                self._start_consumption_if_due(layer)
+            self._emit("playout_start")
+        shortfalls = self.buffers.consume_until(now)
+        for layer in range(self.active_layers):
+            missing = shortfalls.get(layer, 0.0)
+            if missing > 0:
+                self._shortfall_debt[layer] += missing
+            else:
+                self._shortfall_debt[layer] = 0.0
+        if 0 in shortfalls:
+            self.metrics.base_underflow_bytes += shortfalls[0]
+        # A persistently starving enhancement layer during a *draining*
+        # phase is a critical situation: shed load from the top so the
+        # survivors can be fed (section 2.2). During filling the rate
+        # covers consumption, so starvation is transient packet jitter
+        # that the maintenance floor absorbs. The debt threshold filters
+        # shortfalls caused by packetization and feedback lag.
+        debt_limit = (self.config.underflow_debt_packets
+                      * self.config.packet_size)
+        if (not self.is_filling()
+                and any(self._shortfall_debt[layer] > debt_limit
+                        for layer in range(1, self.active_layers))):
+            self._drop_top_layer(DropCause.UNDERFLOW)
+
+    def _apply_drop_rule(self, rate: float) -> None:
+        while True:
+            # Only drainable buffering counts: the base layer's
+            # stall-protection margin cannot absorb the deficit.
+            total = self._drainable_total()
+            keep = self.add_drop.layers_after_drop_rule(
+                rate, total, self.active_layers, self.slope)
+            if keep >= self.active_layers:
+                return
+            self._drop_top_layer(DropCause.RULE)
+            if self.active_layers <= 1:
+                return
+
+    def _base_reserve(self) -> float:
+        """Stall-protection bytes the base must hold beyond its targets."""
+        if self.config.feedback == "ack":
+            return self.config.base_floor_bytes
+        return self.config.base_floor_bytes + self._inflight[0]
+
+    def _maybe_add(self, rate: float) -> bool:
+        if not self.add_drop.can_add(
+            rate, self.average_rate, self.active_layers,
+            self.buffer_levels(), self.slope,
+            base_reserve=self._base_reserve(),
+        ):
+            return False
+        self._activate_layer(self.now_fn())
+        return True
+
+    def safety_levels(self) -> list[float]:
+        """Lower bounds on the receiver's true per-layer buffering.
+
+        With send-time crediting, the estimate leads the receiver by the
+        bytes still in flight; subtracting them gives what has certainly
+        arrived. (In "ack" mode the estimate itself is the lower bound.)
+        """
+        levels = self.buffer_levels()
+        if self.config.feedback == "ack":
+            return levels
+        return [max(0.0, levels[i] - self._inflight[i])
+                for i in range(self.active_layers)]
+
+    def _pick_filling(self, now: float) -> int:
+        rate = self.rate_fn()
+        # Once playback runs, every active layer needs the maintenance
+        # floor: consuming layers so they keep playing, and freshly added
+        # (not yet consuming) layers as their bootstrap cushion.
+        needs_floor = [self.playout_started] * self.active_layers
+        decision = self.filling_policy.choose(
+            rate, self.buffer_levels(), self.active_layers, self.slope,
+            needs_floor, safety_levels=self.safety_levels())
+        if decision.layer is not None:
+            return decision.layer
+        # Every current-layer target is satisfied: time to add a layer
+        # (the first packet of the new layer goes out immediately) ...
+        if self._maybe_add(rate):
+            return self.active_layers - 1
+        # ... or, when adding is not yet possible (the base must still
+        # build its stall-protection reserve on top of the targets, or
+        # the codec is at its layer ceiling), park excess in the base
+        # layer, where buffering is most efficient (section 2.3).
+        return 0
+
+    def _ensure_plan(self, now: float) -> None:
+        if self._plan is not None and now < self._plan_until:
+            return
+        if self._sequence is None or self._frozen_rate is None:
+            # Draining without a recorded backoff (e.g. a slow start below
+            # consumption): freeze a path at the current consumption rate.
+            self._frozen_rate = max(self.rate_fn(), self.consumption)
+            self._refreeze_sequence()
+        elif self._sequence.active_layers != self.active_layers:
+            self._refreeze_sequence()
+        period = self.config.drain_period
+        base_protection = (self._inflight[0]
+                           if self.config.feedback != "ack" else 0.0)
+        plan = self.planner.plan(
+            self.rate_fn(), self.buffer_levels(), self.active_layers,
+            period, self._sequence, base_protection=base_protection)
+        if plan.shortfall > formulas.EPSILON:
+            # Regressing the whole path cannot cover this period's
+            # deficit. A single period's sliver can be jitter; a
+            # persistent shortfall is the critical situation of
+            # section 2.2 and sheds the top layer.
+            self._plan_shortfall_debt += plan.shortfall
+        else:
+            self._plan_shortfall_debt = 0.0
+        debt_limit = (self.config.underflow_debt_packets
+                      * self.config.packet_size)
+        if (self._plan_shortfall_debt > debt_limit
+                and self.active_layers > 1):
+            self._drop_top_layer(DropCause.SHORTFALL)
+            self._plan_shortfall_debt = 0.0
+            plan = self.planner.plan(
+                self.rate_fn(), self.buffer_levels(), self.active_layers,
+                period, self._sequence, base_protection=base_protection)
+        self._plan = plan
+        self._plan_until = now + period
+        self._quota = list(plan.quotas)
+
+    def _pick_draining(self, now: float) -> int:
+        self._ensure_plan(now)
+        # Starvation override for the *base* layer only: it must never run
+        # dry (stall), whatever the quotas say. Enhancement layers are
+        # allowed to drain to empty during a draining phase -- that is the
+        # maximally efficient pattern, and an empty top layer is the one
+        # that gets dropped (with nothing wasted) when the phase turns
+        # critical.
+        safety = self.safety_levels()
+        floor = self.config.base_floor_bytes
+        if self.buffers.is_consuming(0) and safety[0] < floor:
+            layer = 0
+        elif max(self._quota) <= 0:
+            # The controller is sending faster than the plan assumed; the
+            # surplus is filling-phase bandwidth.
+            return self._pick_filling(now)
+        else:
+            # Spend quotas emptiest-layer-first (ties: largest remaining
+            # quota). If the controller under-delivers this period, the
+            # unspent quota then belongs to layers that still hold buffer
+            # -- they absorb the shortage instead of a dry top layer.
+            candidates = [i for i in range(self.active_layers)
+                          if self._quota[i] > 0]
+            layer = min(candidates,
+                        key=lambda i: (safety[i], -self._quota[i]))
+        self._quota[layer] -= self.config.packet_size
+        return layer

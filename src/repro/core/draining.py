@@ -1,0 +1,132 @@
+"""Fine-grain bandwidth allocation during the draining phase (section 4.2).
+
+While the transmission rate is below the total consumption rate, the
+difference must come out of receiver buffers. The paper drains along the
+*same* maximally efficient path the filling phase climbed, in reverse:
+
+- periodically (every ``drain_period``) compute how many bytes must come
+  from buffers in the next period;
+- find the last optimal state on the path that current buffering can
+  still satisfy, and regress towards the *previous* state: drain from the
+  **highest** layer downward, never taking a layer below its share at the
+  state being regressed to, and never faster than the consumption rate C
+  (a layer cannot be played faster than it is consumed);
+- if the regression target is reached with bytes still to drain, move one
+  more state back and repeat.
+
+The plan for a period is expressed as per-layer *send quotas*: layer i
+receives ``C * period - drain_i`` bytes from the network, so quotas sum
+exactly to ``rate * period``. The adapter spends the quotas packet by
+packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core import formulas
+from repro.core.config import QAConfig
+from repro.core.states import StateSequence
+
+
+@dataclass
+class DrainPlan:
+    """One period's draining decision.
+
+    Attributes:
+        drain: bytes to take from each layer's buffer this period.
+        quotas: bytes to send to each layer from the network this period.
+        shortfall: bytes of deficit that no buffer could cover (nonzero
+            means underflow is imminent -- a critical situation the
+            adapter must resolve by dropping layers).
+        state_index: index of the path state regressed to (-1 = below the
+            whole path).
+    """
+
+    drain: list[float]
+    quotas: list[float]
+    shortfall: float
+    state_index: int
+
+    @property
+    def total_drain(self) -> float:
+        return sum(self.drain)
+
+
+class DrainingPlanner:
+    """Computes per-period drain patterns along a frozen state path."""
+
+    def __init__(self, config: QAConfig) -> None:
+        self.config = config
+
+    def plan(
+        self,
+        rate: float,
+        buffers: Sequence[float],
+        active_layers: int,
+        period: float,
+        sequence: StateSequence,
+        base_protection: float = 0.0,
+    ) -> DrainPlan:
+        """Allocate the coming period's deficit across layer buffers.
+
+        Args:
+            rate: current transmission rate (bytes/s), below consumption.
+            buffers: per-layer buffered bytes, base first.
+            active_layers: na (must match ``sequence.active_layers``).
+            period: planning horizon in seconds.
+            sequence: the state path frozen at the filling->draining
+                transition (built from the pre-backoff rate).
+            base_protection: extra bytes of the base layer's buffer to
+                leave untouched beyond the configured floor (the caller
+                passes its in-flight estimate so send-time crediting
+                never drains data that has not actually arrived).
+        """
+        cfg = self.config
+        na = active_layers
+        if sequence.active_layers != na:
+            raise ValueError("state sequence does not match active layers")
+        consumption = na * cfg.layer_rate
+        need = max(0.0, (consumption - rate) * period)
+        levels = [max(0.0, b) for b in buffers[:na]]
+        cap = cfg.layer_rate * period  # a layer drains at most C
+
+        drain = [0.0] * na
+        # The bottom `floor` bytes of the *base* layer are off limits:
+        # they cover data in flight between the server's send-time
+        # estimate and the receiver, and draining into that margin is how
+        # playback stalls. Enhancement layers may drain to empty -- a
+        # brief quality gap at worst -- and are then dropped with (near)
+        # nothing left buffered, which is what makes the paper's
+        # buffering-efficiency metric approach 100%.
+        floor = cfg.base_floor_bytes + max(0.0, base_protection)
+        # Position on the path: last state whose total requirement current
+        # buffering still covers; regress from there.
+        index = sequence.survivable_position(sum(levels))
+        remaining = need
+        while remaining > formulas.EPSILON:
+            if index >= 0:
+                targets = sequence[index].effective_shares
+            else:
+                targets = (0.0,) * na
+            for layer in range(na - 1, -1, -1):
+                if remaining <= formulas.EPSILON:
+                    break
+                protected = max(targets[layer],
+                                floor if layer == 0 else 0.0)
+                allowance = min(
+                    levels[layer] - drain[layer] - protected,
+                    cap - drain[layer],
+                    remaining,
+                )
+                if allowance > formulas.EPSILON:
+                    drain[layer] += allowance
+                    remaining -= allowance
+            if index < 0:
+                break  # nothing left to regress to
+            index -= 1
+
+        quotas = [max(0.0, cap - drain[i]) for i in range(na)]
+        return DrainPlan(drain=drain, quotas=quotas, shortfall=remaining,
+                         state_index=index)

@@ -1,0 +1,218 @@
+"""Fine-grain bandwidth allocation during the filling phase (section 4.1).
+
+This is the paper's per-packet ``SendPacket`` algorithm: every
+transmission opportunity is assigned to one layer so that the receiver's
+per-layer buffers climb through the maximally efficient sequence of
+optimal states (Figure 10) without ever draining a buffer mid-filling.
+
+The algorithm, restated:
+
+1. Find ``s1_k``: the smallest k whose scenario-1 total requirement is not
+   yet covered by the available buffering (stop past ``k_max`` -- scenario
+   1 fully provisioned).
+2. Find ``s2_k`` likewise for scenario 2 (not capped: once both scenarios
+   reach ``k_max`` the adapter adds a layer, which restarts the walk; at
+   the codec's maximum layer count the walk simply keeps deepening
+   protection).
+3. Walk layers base-first. If the pending scenario-1 state needs less
+   total buffering than the pending scenario-2 state, fill the first layer
+   below its scenario-1 share. Otherwise fill the first layer below its
+   scenario-2 share **and** still below its scenario-1 share -- the clamp
+   of section 4 ("no more than the next scenario 1 state"), which pushes
+   any excess to higher layers where it can still substitute for
+   lower-layer buffering.
+
+One practical addition for a packetized (non-fluid) system: a small
+per-layer *maintenance floor*. In the fluid model a layer at its target
+keeps receiving exactly C, so its buffer never moves; with packets and
+one-RTT-stale feedback a layer could momentarily starve. Layers whose
+buffer falls below the floor get absolute priority (most-depleted first).
+The floor is a fraction of a second of layer data (see
+:attr:`repro.core.config.QAConfig.maintenance_floor`) and is far below any
+optimal share, so it does not disturb the filling path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core import formulas
+from repro.core.config import QAConfig
+from repro.core.formulas import SCENARIO_ONE, SCENARIO_TWO
+
+#: Runaway guard for the (normally small) scenario-2 search.
+_MAX_K_SEARCH = 10_000
+
+
+@dataclass
+class FillingDecision:
+    """Outcome of one per-packet decision (kept for traces and tests)."""
+
+    layer: Optional[int]
+    s1_k: int
+    s2_k: int
+    working_scenario: int
+    maintenance: bool = False
+
+    @property
+    def working_state(self) -> str:
+        k = self.s1_k if self.working_scenario == SCENARIO_ONE else self.s2_k
+        return f"S{self.working_scenario}k{k}"
+
+
+class FillingPolicy:
+    """Chooses the layer for each packet sent during a filling phase."""
+
+    def __init__(self, config: QAConfig) -> None:
+        self.config = config
+
+    def choose(
+        self,
+        rate: float,
+        buffers: Sequence[float],
+        active_layers: int,
+        slope: float,
+        needs_floor: Optional[Sequence[bool]] = None,
+        safety_levels: Optional[Sequence[float]] = None,
+    ) -> FillingDecision:
+        """Pick the layer the next packet should carry.
+
+        Args:
+            rate: current transmission rate R (bytes/s).
+            buffers: per-layer buffered bytes (server's estimate), base
+                first, length >= ``active_layers``.
+            active_layers: na.
+            slope: AIMD slope S.
+            needs_floor: per-layer flags -- which layers the maintenance
+                floor protects (typically all of them once playback has
+                begun; none before). Defaults to all.
+            safety_levels: per-layer *lower bounds* on what the receiver
+                actually holds (the estimate minus in-flight bytes for a
+                send-time-crediting estimator). The maintenance floor is
+                checked against these; target filling uses ``buffers``.
+                Defaults to ``buffers``.
+
+        Returns a :class:`FillingDecision`; ``layer`` is None only when
+        every target is met (the adapter then adds a layer or parks excess
+        bandwidth in the base layer).
+        """
+        cfg = self.config
+        na = active_layers
+        buffers = list(buffers[:na])
+        total = sum(buffers)
+        consumption = na * cfg.layer_rate
+
+        # Maintenance floor: keep every protected layer playable. The top
+        # layer gets only a one-packet floor -- in the optimal allocation
+        # it holds (near) nothing, riding the network at C, so that when
+        # it is dropped almost no buffered data is wasted (this is what
+        # drives the paper's buffering efficiency to ~100%).
+        if needs_floor is None:
+            needs_floor = [True] * na
+        if safety_levels is None:
+            safety_levels = buffers
+        floors = [cfg.floor_bytes] * na
+        floors[na - 1] = min(cfg.floor_bytes, float(cfg.packet_size))
+        floors[0] = cfg.base_floor_bytes  # the base never goes thin
+        starving = [
+            i for i in range(na)
+            if needs_floor[i] and safety_levels[i] < floors[i]
+        ]
+        if starving:
+            layer = min(starving, key=lambda i: safety_levels[i])
+            return FillingDecision(layer, 0, 0, SCENARIO_ONE,
+                                   maintenance=True)
+
+        s1_k, req1 = self._first_unsatisfied(
+            rate, consumption, slope, total, SCENARIO_ONE, cap=cfg.k_max)
+        s2_k, req2 = self._first_unsatisfied(
+            rate, consumption, slope, total, SCENARIO_TWO, cap=None)
+
+        if s1_k > cfg.k_max and s2_k > cfg.k_max:
+            # Every state up to K_max is covered *in total*; before
+            # deepening protection beyond K_max, make sure the K_max
+            # distribution itself is complete per layer (the pseudocode's
+            # total-based loops can leave a middle layer below its share
+            # while the base over-fills, which would stall the add rule).
+            from repro.core.states import StateSequence
+
+            targets = StateSequence(rate, cfg.layer_rate, na, slope,
+                                    cfg.k_max).final_targets
+            for layer in range(na):
+                if targets[layer] > buffers[layer] + formulas.EPSILON:
+                    return FillingDecision(layer, s1_k, s2_k,
+                                           SCENARIO_TWO)
+
+        s1_pending = s1_k <= cfg.k_max
+        shares1 = (
+            formulas.scenario_shares(rate, cfg.layer_rate, na, slope,
+                                     s1_k, SCENARIO_ONE)
+            if s1_pending else None
+        )
+        shares2 = formulas.scenario_shares(rate, cfg.layer_rate, na, slope,
+                                           s2_k, SCENARIO_TWO)
+
+        if s1_pending and req1 <= req2:
+            # Working towards the scenario-1 state.
+            for layer in range(na):
+                if shares1[layer] > buffers[layer] + formulas.EPSILON:
+                    return FillingDecision(layer, s1_k, s2_k, SCENARIO_ONE)
+            return FillingDecision(None, s1_k, s2_k, SCENARIO_ONE)
+
+        # Working towards the scenario-2 state, clamped by the pending
+        # scenario-1 state: no layer is filled beyond its share at the
+        # *next* scenario-1 state; the excess is redistributed to higher
+        # layers (where it can still substitute for lower-layer
+        # buffering). This is the section 4 constraint that keeps the
+        # path monotone.
+        if s1_pending:
+            targets = self._clamp_shares(shares2, shares1)
+        else:
+            targets = shares2
+        for layer in range(na):
+            if targets[layer] > buffers[layer] + formulas.EPSILON:
+                return FillingDecision(layer, s1_k, s2_k, SCENARIO_TWO)
+        return FillingDecision(None, s1_k, s2_k, SCENARIO_TWO)
+
+    @staticmethod
+    def _clamp_shares(raw, caps):
+        """Clamp ``raw`` element-wise at ``caps``, carrying any excess to
+        higher layers; leftover that no cap can hold lands on the top
+        layer (total protection is preserved either way)."""
+        clamped = []
+        carry = 0.0
+        for share, cap in zip(raw, caps):
+            want = share + carry
+            give = min(want, cap)
+            clamped.append(give)
+            carry = want - give
+        if carry > 0 and clamped:
+            clamped[-1] += carry
+        return tuple(clamped)
+
+    def _first_unsatisfied(
+        self,
+        rate: float,
+        consumption: float,
+        slope: float,
+        total_buffer: float,
+        scenario: int,
+        cap: Optional[int],
+    ) -> tuple[int, float]:
+        """Smallest k whose total requirement exceeds the buffering.
+
+        Mirrors the pseudocode's WHILE loops: returns ``(k, requirement)``;
+        for scenario 1 the search stops at ``cap + 1`` (fully provisioned).
+        """
+        k = 0
+        req = 0.0
+        while req <= total_buffer + formulas.EPSILON:
+            if cap is not None and k >= cap + 1:
+                break
+            if k >= _MAX_K_SEARCH:  # pragma: no cover - runaway guard
+                break
+            k += 1
+            req = formulas.scenario_total(rate, consumption, slope, k,
+                                          scenario)
+        return k, req

@@ -1,0 +1,231 @@
+"""Appendix A: the analytic core of quality adaptation.
+
+All formulas describe the AIMD sawtooth geometry of Figure 3: the
+transmission rate climbs linearly at slope ``S`` (bytes/s per second),
+halves at each backoff, and while it is below the total consumption rate
+``na*C`` the difference must be drawn from receiver buffers. Areas under
+the rate/consumption curves are bytes.
+
+Conventions used throughout:
+
+- ``rate``: the transmission rate **before** the (first) backoff, R.
+- ``consumption``: total consumption rate ``na * C``.
+- ``layer_rate``: per-layer consumption rate C.
+- ``slope``: the linear-increase rate S.
+- Layer 0 is the base layer; per-layer share vectors are base-first.
+
+The key geometric facts (derived in DESIGN.md section 1):
+
+- A draining phase starting with deficit ``D0 = consumption - R/2`` lasts
+  ``D0/S`` seconds and consumes ``D0^2 / (2S)`` bytes of buffer
+  (the area of triangle *cde* in Figure 3).
+- Slicing that triangle into horizontal bands of height C gives the
+  optimal per-layer shares (Figure 4): band i (counting from the bottom,
+  assigned to layer i) has area ``(C/S) * (D0 - (i + 1/2) * C)``; the top
+  band is the partial triangle ``(D0 - (nb-1)*C)^2 / (2S)``.
+- Scenario 1 with k backoffs: the same triangle with ``R -> R/2^k``.
+- Scenario 2 with k backoffs (Figure 14): ``k1`` immediate backoffs bring
+  the rate just below consumption, then each of the remaining ``k - k1``
+  backoffs happens right when the rate has climbed back to consumption,
+  producing identical triangles of height ``consumption/2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Tolerance for float comparisons on byte quantities.
+EPSILON = 1e-9
+
+SCENARIO_ONE = 1
+SCENARIO_TWO = 2
+
+
+def triangle_area(deficit: float, slope: float) -> float:
+    """Bytes drained while a deficit ``deficit`` closes at slope ``slope``.
+
+    This is equation (1) of the paper: ``A = L_ce^2 / (2S)``. Non-positive
+    deficits need no buffering.
+    """
+    if slope <= 0:
+        raise ValueError("slope must be positive")
+    if deficit <= 0:
+        return 0.0
+    return deficit * deficit / (2.0 * slope)
+
+
+def deficit_after_backoffs(rate: float, consumption: float, k: int) -> float:
+    """Consumption minus the rate left after ``k`` immediate halvings."""
+    if k < 0:
+        raise ValueError("k cannot be negative")
+    return consumption - rate / (2.0 ** k)
+
+
+def min_buffering_layers(deficit: float, layer_rate: float) -> int:
+    """``nb``: minimum number of layers that must hold buffering.
+
+    A single layer can supply at most C of the deficit at any instant, so
+    covering a peak deficit ``D0`` needs ``ceil(D0 / C)`` buffering layers
+    (section 2.4).
+    """
+    if layer_rate <= 0:
+        raise ValueError("layer_rate must be positive")
+    if deficit <= EPSILON:
+        return 0
+    return math.ceil(deficit / layer_rate - EPSILON)
+
+
+def band_shares(deficit: float, layer_rate: float,
+                slope: float) -> tuple[float, ...]:
+    """Optimal per-layer buffer shares for one deficit triangle (Figure 4).
+
+    Slices the triangle into horizontal bands of height ``layer_rate``.
+    The bottom band (largest, longest-lived) goes to the base layer;
+    ``shares[i]`` is layer i's share. Bands above the deficit peak are
+    absent (those layers need no buffering). The shares sum to
+    ``triangle_area(deficit, slope)`` exactly.
+    """
+    if deficit <= EPSILON:
+        return ()
+    shares: list[float] = []
+    level = 0.0
+    while level < deficit - EPSILON:
+        top = min(level + layer_rate, deficit)
+        area = ((deficit - level) ** 2 - (deficit - top) ** 2) / (2.0 * slope)
+        shares.append(area)
+        level = top
+    return tuple(shares)
+
+
+def one_backoff_requirement(rate: float, consumption: float,
+                            slope: float) -> float:
+    """Buffering needed to survive one backoff from ``rate`` (A.1).
+
+    The adding condition C2 of section 2.1 evaluates this with
+    ``consumption = (na + 1) * C``.
+    """
+    return triangle_area(consumption - rate / 2.0, slope)
+
+
+def draining_recovery_requirement(rate: float, consumption: float,
+                                  slope: float) -> float:
+    """Buffering needed to finish the current draining phase (A.2).
+
+    During draining the rate is already below consumption; the remaining
+    deficit triangle has height ``consumption - rate``.
+    """
+    return triangle_area(consumption - rate, slope)
+
+
+def layers_to_keep(rate: float, total_buffer: float, layer_rate: float,
+                   slope: float, active_layers: int) -> int:
+    """The dropping mechanism of section 2.2.
+
+    Iteratively drop the top layer while the buffered data cannot cover
+    the remaining deficit triangle::
+
+        WHILE na*C - R >= sqrt(2 * S * total_buf):  na -= 1
+
+    The base layer is never dropped. Returns how many layers survive.
+    """
+    if active_layers < 1:
+        raise ValueError("need at least one active layer")
+    threshold = math.sqrt(max(0.0, 2.0 * slope * total_buffer))
+    na = active_layers
+    while na > 1 and na * layer_rate - rate >= threshold - EPSILON:
+        na -= 1
+    return na
+
+
+def k1_backoffs(rate: float, consumption: float) -> int:
+    """Minimum backoffs to push ``rate`` below ``consumption`` (A.4).
+
+    At least one backoff always happens in a backoff scenario, so the
+    result is >= 1 even when the rate is already below consumption.
+    """
+    if rate <= 0 or consumption <= 0:
+        raise ValueError("rate and consumption must be positive")
+    k1 = 1
+    while rate / (2.0 ** k1) >= consumption - EPSILON:
+        k1 += 1
+    return k1
+
+
+def scenario_total(rate: float, consumption: float, slope: float,
+                   k: int, scenario: int) -> float:
+    """``TotalBufRequired`` of the section 4.1 pseudocode (A.4).
+
+    Scenario 1: ``k`` immediate backoffs, one big triangle.
+    Scenario 2: ``k1`` immediate backoffs, then ``k - k1`` sequential
+    backoff/recovery cycles each costing ``(consumption/2)^2 / (2S)``.
+    For ``k <= k1`` the scenarios coincide.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if scenario == SCENARIO_ONE:
+        return triangle_area(deficit_after_backoffs(rate, consumption, k),
+                             slope)
+    if scenario == SCENARIO_TWO:
+        k1 = k1_backoffs(rate, consumption)
+        if k <= k1:
+            return triangle_area(
+                deficit_after_backoffs(rate, consumption, k), slope)
+        first = triangle_area(deficit_after_backoffs(rate, consumption, k1),
+                              slope)
+        sequential = triangle_area(consumption / 2.0, slope)
+        return first + (k - k1) * sequential
+    raise ValueError(f"scenario must be 1 or 2, got {scenario}")
+
+
+def scenario_shares(rate: float, layer_rate: float, active_layers: int,
+                    slope: float, k: int,
+                    scenario: int) -> tuple[float, ...]:
+    """``BufRequired`` for every layer at once (A.5), padded to ``na``.
+
+    Returns a base-first vector of length ``active_layers``; entries
+    beyond the minimum buffering layers are zero. The vector sums to
+    :func:`scenario_total` (within float tolerance).
+    """
+    if active_layers < 1:
+        raise ValueError("need at least one active layer")
+    consumption = active_layers * layer_rate
+    if scenario == SCENARIO_ONE:
+        shares = band_shares(deficit_after_backoffs(rate, consumption, k),
+                             layer_rate, slope)
+    elif scenario == SCENARIO_TWO:
+        k1 = k1_backoffs(rate, consumption)
+        if k <= k1:
+            shares = band_shares(
+                deficit_after_backoffs(rate, consumption, k),
+                layer_rate, slope)
+        else:
+            first = band_shares(
+                deficit_after_backoffs(rate, consumption, k1),
+                layer_rate, slope)
+            seq = band_shares(consumption / 2.0, layer_rate, slope)
+            width = max(len(first), len(seq))
+            shares = tuple(
+                (first[i] if i < len(first) else 0.0)
+                + (k - k1) * (seq[i] if i < len(seq) else 0.0)
+                for i in range(width)
+            )
+    else:
+        raise ValueError(f"scenario must be 1 or 2, got {scenario}")
+    padded = list(shares[:active_layers])
+    padded += [0.0] * (active_layers - len(padded))
+    # Band slicing can produce at most `active_layers` bands because the
+    # deficit never exceeds na*C; the slice above is a safety net.
+    return tuple(padded)
+
+
+def drain_duration(deficit: float, slope: float) -> float:
+    """Seconds until the rate climbs back up across the consumption rate."""
+    if slope <= 0:
+        raise ValueError("slope must be positive")
+    return max(0.0, deficit / slope)
+
+
+def share_sum(shares: Sequence[float]) -> float:
+    """Float-stable sum for share vectors (tests compare against totals)."""
+    return math.fsum(shares)

@@ -1,0 +1,169 @@
+"""Optimal buffer states and the maximally efficient filling path.
+
+Section 4 of the paper organizes buffering targets as a sequence of
+*states* ``(scenario, k)`` -- "enough optimally-distributed buffering to
+survive k backoffs under that scenario" -- ordered by increasing total
+requirement (Figure 9). Because that raw ordering sometimes asks a layer
+for *less* buffer than an earlier state did (which would mean draining
+during a filling phase), the per-layer targets along the path are made
+monotone (Figure 10): a later state's effective target for a layer is at
+least every earlier state's target. Buffering kept in a lower layer than
+strictly necessary is always usable for recovery (lower-layer buffering is
+*more* efficient, section 2.3), so the monotone path still protects every
+state it has passed.
+
+:class:`StateSequence` is used two ways:
+
+- analytically, to regenerate Figures 8, 9 and 10;
+- operationally, by the draining planner (section 4.2), which walks the
+  same path backwards.
+
+The per-packet filling algorithm (:mod:`repro.core.filling`) does not read
+a precomputed sequence -- following the paper's pseudocode it recomputes
+its working state on the fly -- but the two agree (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core import formulas
+from repro.core.formulas import SCENARIO_ONE, SCENARIO_TWO
+
+
+@dataclass(frozen=True)
+class BufferState:
+    """One optimal buffer state.
+
+    Attributes:
+        scenario: 1 or 2.
+        k: number of backoffs survived.
+        total: total buffering the raw state requires (bytes).
+        shares: raw optimal per-layer allocation (base first, bytes).
+        effective_shares: per-layer targets after the monotonicity
+            constraint of Figure 10 (only set when the state is part of a
+            :class:`StateSequence`).
+    """
+
+    scenario: int
+    k: int
+    total: float
+    shares: tuple[float, ...]
+    effective_shares: tuple[float, ...] = ()
+
+    @property
+    def effective_total(self) -> float:
+        return formulas.share_sum(self.effective_shares or self.shares)
+
+    def label(self) -> str:
+        return f"S{self.scenario}k{self.k}"
+
+
+class StateSequence:
+    """The ordered, monotone sequence of buffer states for one situation.
+
+    Args:
+        rate: transmission rate R the scenarios back off from (bytes/s).
+        layer_rate: per-layer consumption C (bytes/s).
+        active_layers: na.
+        slope: AIMD linear-increase slope S (bytes/s^2).
+        k_max: largest number of backoffs to provision for.
+
+    The sequence contains, for each ``k`` in ``1..k_max``, the scenario-1
+    and scenario-2 states (deduplicated when they coincide, i.e. when
+    ``k <= k1``), sorted by raw total requirement with scenario 1 first on
+    ties (matching Figure 9). ``effective_shares`` are the running
+    element-wise maxima, so they are monotone along the sequence.
+    """
+
+    def __init__(self, rate: float, layer_rate: float, active_layers: int,
+                 slope: float, k_max: int) -> None:
+        if k_max < 1:
+            raise ValueError("k_max must be at least 1")
+        if active_layers < 1:
+            raise ValueError("need at least one active layer")
+        self.rate = rate
+        self.layer_rate = layer_rate
+        self.active_layers = active_layers
+        self.slope = slope
+        self.k_max = k_max
+        self.states: list[BufferState] = self._build()
+
+    def _raw_states(self) -> list[BufferState]:
+        consumption = self.active_layers * self.layer_rate
+        k1 = formulas.k1_backoffs(self.rate, consumption)
+        raw: list[BufferState] = []
+        for k in range(1, self.k_max + 1):
+            for scenario in (SCENARIO_ONE, SCENARIO_TWO):
+                if scenario == SCENARIO_TWO and k <= k1:
+                    continue  # identical to scenario 1 at this k
+                total = formulas.scenario_total(
+                    self.rate, consumption, self.slope, k, scenario)
+                shares = formulas.scenario_shares(
+                    self.rate, self.layer_rate, self.active_layers,
+                    self.slope, k, scenario)
+                raw.append(BufferState(scenario, k, total, shares))
+        return raw
+
+    def _build(self) -> list[BufferState]:
+        raw = self._raw_states()
+        # Figure 9 ordering: increasing total requirement; scenario 1 wins
+        # ties; then smaller k first. sorted() is stable so the (k,
+        # scenario) generation order handles residual ties.
+        raw.sort(key=lambda s: (s.total, s.scenario, s.k))
+        running = [0.0] * self.active_layers
+        out: list[BufferState] = []
+        for state in raw:
+            running = [max(a, b) for a, b in zip(running, state.shares)]
+            out.append(BufferState(state.scenario, state.k, state.total,
+                                   state.shares, tuple(running)))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[BufferState]:
+        return iter(self.states)
+
+    def __getitem__(self, index: int) -> BufferState:
+        return self.states[index]
+
+    @property
+    def final_targets(self) -> tuple[float, ...]:
+        """Per-layer targets whose satisfaction allows adding a layer."""
+        if not self.states:
+            return tuple([0.0] * self.active_layers)
+        return self.states[-1].effective_shares
+
+    def position(self, buffers: Sequence[float]) -> int:
+        """Index of the last state fully satisfied by ``buffers``.
+
+        A state is satisfied when every layer holds at least its effective
+        share. Returns -1 when not even the first state is satisfied.
+        Because effective shares are monotone, satisfaction is a prefix
+        property: this is the filling progress pointer.
+        """
+        pos = -1
+        for i, state in enumerate(self.states):
+            if all(b + formulas.EPSILON >= s
+                   for b, s in zip(buffers, state.effective_shares)):
+                pos = i
+            else:
+                break
+        return pos
+
+    def survivable_position(self, total_buffer: float) -> int:
+        """Index of the largest state whose *total* fits in ``total_buffer``.
+
+        The draining planner uses totals (not per-layer shares) to decide
+        how far back along the path it must regress; -1 when even the
+        first state's total exceeds the buffering.
+        """
+        pos = -1
+        for i, state in enumerate(self.states):
+            if state.total <= total_buffer + formulas.EPSILON:
+                pos = i
+            else:
+                break
+        return pos

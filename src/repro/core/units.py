@@ -1,0 +1,30 @@
+"""Unit helpers.
+
+Internally everything is **bytes** and **bytes per second** (the paper's
+plots use KB/s). These helpers exist so experiment configs can be written
+in the paper's units without sprinkling magic constants.
+"""
+
+from __future__ import annotations
+
+KILOBYTE = 1000  # the paper uses decimal KB/s axes
+
+
+def kbps_to_bytes(kilobits_per_second: float) -> float:
+    """Kilobits/s (link speeds, e.g. '800 Kb/s bottleneck') to bytes/s."""
+    return kilobits_per_second * 1000.0 / 8.0
+
+
+def kBps_to_bytes(kilobytes_per_second: float) -> float:
+    """Kilobytes/s (the paper's rate axes) to bytes/s."""
+    return kilobytes_per_second * KILOBYTE
+
+
+def bytes_to_kBps(bytes_per_second: float) -> float:
+    """Bytes/s to the paper's KB/s axis units."""
+    return bytes_per_second / KILOBYTE
+
+
+def ms(milliseconds: float) -> float:
+    """Milliseconds to seconds."""
+    return milliseconds / 1000.0

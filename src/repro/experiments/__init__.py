@@ -1,0 +1,36 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(**overrides)`` returning a result object with
+a ``render()`` method (plain text: tables + ASCII charts), and the CLI
+(:mod:`repro.experiments.runner`, installed as ``repro-experiments``)
+dispatches on the experiment name. DESIGN.md section 4 maps each module
+to its figure/table; EXPERIMENTS.md records the measured outputs.
+"""
+
+EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_rap_sawtooth",
+    "fig02": "repro.experiments.fig02_overview",
+    "fig03": "repro.experiments.fig03_phase_geometry",
+    "fig04": "repro.experiments.fig04_optimal_alloc",
+    "fig05": "repro.experiments.fig05_fill_drain",
+    "fig06": "repro.experiments.fig06_smoothing_phases",
+    "fig07": "repro.experiments.fig07_double_backoff",
+    "fig08": "repro.experiments.fig08_buffer_states",
+    "fig09": "repro.experiments.fig09_state_order",
+    "fig10": "repro.experiments.fig10_filling_steps",
+    "fig11": "repro.experiments.fig11_trace_kmax2",
+    "fig12": "repro.experiments.fig12_kmax_sweep",
+    "fig13": "repro.experiments.fig13_cbr_step",
+    "fig14": "repro.experiments.fig14_scenario2_geometry",
+    "table1": "repro.experiments.table1_efficiency",
+    "table2": "repro.experiments.table2_drop_causes",
+    "ablation-allocators": "repro.experiments.ablation_allocators",
+    "ablation-add-rules": "repro.experiments.ablation_add_rules",
+    "ablation-static": "repro.experiments.ablation_static",
+    "ablation-feedback": "repro.experiments.ablation_feedback",
+    "ablation-transport": "repro.experiments.ablation_transport",
+    "ablation-nonlinear": "repro.experiments.ablation_nonlinear",
+    "ablation-retransmit": "repro.experiments.ablation_retransmit",
+}
+
+__all__ = ["EXPERIMENTS"]

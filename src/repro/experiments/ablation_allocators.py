@@ -1,0 +1,91 @@
+"""Ablation: the optimal allocator vs section 2.3's strawmen.
+
+Runs T1 with the three inter-layer buffer distributions -- optimal
+(the paper's mechanism), equal share, base first -- and compares the
+quantities the strawmen are predicted to hurt:
+
+- equal share wastes buffered data in dropped layers (lower efficiency);
+- base first concentrates buffering in too few layers, so upper layers
+  are dropped despite plentiful total buffering (higher
+  poor-distribution percentage, more drops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis import format_table
+from repro.core.metrics import QualityMetrics
+from repro.experiments.common import PaperWorkload, WorkloadConfig
+
+ALLOCATORS = ("optimal", "equal_share", "base_first")
+
+
+@dataclass
+class AllocatorAblationResult:
+    metrics: dict[str, QualityMetrics]
+    quality: dict[str, dict] = field(default_factory=dict)
+
+    def rows(self) -> list[tuple]:
+        out = []
+        for name in ALLOCATORS:
+            m = self.metrics[name]
+            q = self.quality.get(name, {})
+            eff = m.buffering_efficiency()
+            poor = m.poor_distribution_percent()
+            out.append((
+                name,
+                len(m.drops),
+                len(m.adds),
+                None if eff is None else round(100 * eff, 2),
+                None if poor is None else round(poor, 1),
+                round(q.get("mean_layers", 0.0), 2),
+                round(q.get("gap_bytes", 0.0)),
+                m.stall_count,
+                round(m.stall_time, 2),
+            ))
+        return out
+
+    def render(self) -> str:
+        return format_table(
+            ("allocator", "drops", "adds", "efficiency %",
+             "poor-distribution %", "mean layers", "gap bytes",
+             "stalls", "stall time s"),
+            self.rows(),
+            title="Ablation: inter-layer buffer allocator (T1, pooled "
+            "seeds)")
+
+
+def run(seeds: Sequence[int] = (1, 2, 3),
+        **overrides) -> AllocatorAblationResult:
+    overrides.setdefault("k_max", 2)
+    metrics: dict[str, QualityMetrics] = {}
+    quality: dict[str, dict] = {}
+    for allocator in ALLOCATORS:
+        pooled = QualityMetrics()
+        mean_layers = gaps = 0.0
+        for seed in seeds:
+            result = PaperWorkload(WorkloadConfig(
+                allocator=allocator, seed=seed, **overrides)).run()
+            pooled.drops.extend(result.metrics.drops)
+            pooled.adds.extend(result.metrics.adds)
+            pooled.stall_count += result.playout.stall_count
+            pooled.stall_time += result.playout.stall_time
+            summary = result.summary()
+            mean_layers += summary["mean_layers"]
+            gaps += summary["gap_bytes"]
+        metrics[allocator] = pooled
+        quality[allocator] = {
+            "mean_layers": mean_layers / len(seeds),
+            "gap_bytes": gaps / len(seeds),
+        }
+    return AllocatorAblationResult(metrics=metrics, quality=quality)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

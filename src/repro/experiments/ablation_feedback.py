@@ -1,0 +1,78 @@
+"""Ablation: receiver-buffer feedback models.
+
+How much does the server's knowledge of the receiver's buffers matter?
+
+- ``send``: the paper's model -- the server knows its transmission
+  history and debits detected losses (default);
+- ``ack``: only acknowledged data counts (one RTT stale, conservative);
+- ``oracle``: losses are ignored entirely (optimistic upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis import format_table
+from repro.experiments.common import PaperWorkload, WorkloadConfig
+
+FEEDBACK_MODES = ("send", "ack", "oracle")
+
+
+@dataclass
+class FeedbackRow:
+    mode: str
+    drops: int
+    adds: int
+    stalls: int
+    stall_time: float
+    gap_bytes: float
+    mean_layers: float
+
+
+@dataclass
+class FeedbackAblationResult:
+    rows: list[FeedbackRow]
+
+    def render(self) -> str:
+        return format_table(
+            ("feedback", "drops", "adds", "stalls", "stall time s",
+             "gap bytes", "mean layers"),
+            [(r.mode, r.drops, r.adds, r.stalls, round(r.stall_time, 2),
+              round(r.gap_bytes), round(r.mean_layers, 2))
+             for r in self.rows],
+            title="Ablation: receiver-buffer feedback model (T1, pooled "
+            "seeds)")
+
+
+def run(seeds: Sequence[int] = (1, 2, 3),
+        modes: Sequence[str] = FEEDBACK_MODES,
+        **overrides) -> FeedbackAblationResult:
+    overrides.setdefault("k_max", 2)
+    rows = []
+    for mode in modes:
+        drops = adds = stalls = 0
+        stall_time = gaps = mean_layers = 0.0
+        for seed in seeds:
+            session = PaperWorkload(WorkloadConfig(
+                feedback=mode, seed=seed, **overrides)).run()
+            summary = session.summary()
+            drops += summary["drops"]
+            adds += summary["adds"]
+            stalls += summary["stalls_receiver"]
+            stall_time += summary["stall_time_receiver"]
+            gaps += summary["gap_bytes"]
+            mean_layers += summary["mean_layers"]
+        rows.append(FeedbackRow(
+            mode=mode, drops=drops, adds=adds, stalls=stalls,
+            stall_time=stall_time, gap_bytes=gaps / len(seeds),
+            mean_layers=mean_layers / len(seeds)))
+    return FeedbackAblationResult(rows=rows)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

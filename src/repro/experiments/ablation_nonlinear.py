@@ -1,0 +1,105 @@
+"""Ablation: non-linear layer spacing (section 7 future work).
+
+The paper's analysis assumes linearly spaced layers and defers
+"quality adaptation with a non-linear distribution of bandwidth among
+layers" to future work. This experiment works out the analytic side of
+that extension with :mod:`repro.core.nonlinear`: for the same *total*
+consumption rate, how does the optimal buffer distribution change when
+the layer ladder is geometric (fat base, thin enhancements) instead of
+linear?
+
+Findings the table shows (asserted by the tests):
+
+- the totals are identical -- the deficit triangle only depends on the
+  total consumption rate;
+- the fat-base ladder needs *fewer* buffering layers (the base alone
+  covers more of the deficit), concentrating buffering even more in the
+  base layer;
+- under the drop rule, thin top layers are shed in bunches: dropping a
+  thin enhancement frees little consumption, so deep deficits cut
+  deeper into the ladder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis import format_kv, format_table
+from repro.core import formulas, nonlinear
+
+
+@dataclass
+class NonlinearResult:
+    rate: float
+    slope: float
+    linear_rates: tuple[float, ...]
+    geometric_rates: tuple[float, ...]
+
+    def shares(self, rates, k, scenario):
+        return nonlinear.scenario_shares(self.rate, rates, self.slope,
+                                         k, scenario)
+
+    def rows(self) -> list[tuple]:
+        out = []
+        for label, rates in (("linear", self.linear_rates),
+                             ("geometric", self.geometric_rates)):
+            for k in (1, 2):
+                shares = self.shares(rates, k, formulas.SCENARIO_ONE)
+                nb = sum(1 for s in shares if s > 0)
+                out.append((
+                    label, k, round(math.fsum(shares)), nb,
+                    *(round(s) for s in shares)))
+        return out
+
+    def drop_rule_rows(self) -> list[tuple]:
+        out = []
+        for label, rates in (("linear", self.linear_rates),
+                             ("geometric", self.geometric_rates)):
+            for post_rate_frac in (0.75, 0.5, 0.25):
+                post = post_rate_frac * math.fsum(rates)
+                kept = nonlinear.layers_to_keep(post, 2_000.0, rates,
+                                                self.slope)
+            # report the deepest cut
+                out.append((label, round(post), kept))
+        return out
+
+    def render(self) -> str:
+        n = len(self.linear_rates)
+        out = format_table(
+            ("spacing", "k", "total (B)", "nb",
+             *(f"L{i}" for i in range(n))),
+            self.rows(),
+            title="Ablation: optimal shares, linear vs geometric layer "
+            "spacing (same total rate)")
+        out += format_table(
+            ("spacing", "post-backoff rate", "layers kept"),
+            self.drop_rule_rows(),
+            title="Drop rule under deep deficits (2 KB buffered)")
+        out += format_kv({
+            "linear_rates": ", ".join(f"{r:.0f}"
+                                      for r in self.linear_rates),
+            "geometric_rates": ", ".join(f"{r:.0f}"
+                                         for r in self.geometric_rates),
+            "total_rate": math.fsum(self.linear_rates),
+        })
+        return out
+
+
+def run(total_rate: float = 26_000.0, n_layers: int = 4,
+        rate: float = 30_000.0, slope: float = 8_000.0,
+        ratio: float = 0.5) -> NonlinearResult:
+    linear = tuple([total_rate / n_layers] * n_layers)
+    geo = nonlinear.geometric_rates(1.0, n_layers, ratio)
+    scale = total_rate / math.fsum(geo)
+    geometric = tuple(g * scale for g in geo)
+    return NonlinearResult(rate=rate, slope=slope, linear_rates=linear,
+                           geometric_rates=geometric)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

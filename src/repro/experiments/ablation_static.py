@@ -1,0 +1,81 @@
+"""Ablation: quality adaptation vs a fixed-quality stream.
+
+The paper's motivation (section 1.2): a non-adaptive server must pick
+one encoding rate. Too high and low-bandwidth periods stall playback;
+too low and capacity is wasted. We stream the same clip through the same
+T1 network three ways -- adaptive, fixed at 2 layers, fixed at 4 layers
+-- and compare stalls against delivered quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis import format_table
+from repro.baselines.static_stream import FixedQualityAdapter
+from repro.experiments.common import PaperWorkload, WorkloadConfig
+
+
+@dataclass
+class StaticRow:
+    scheme: str
+    mean_layers: float
+    stalls: int
+    stall_time: float
+    gap_bytes: float
+    quality_changes: int
+
+
+@dataclass
+class StaticAblationResult:
+    rows: list[StaticRow]
+
+    def render(self) -> str:
+        return format_table(
+            ("scheme", "mean layers", "stalls", "stall time s",
+             "gap bytes", "quality changes"),
+            [(r.scheme, round(r.mean_layers, 2), r.stalls,
+              round(r.stall_time, 2), round(r.gap_bytes),
+              r.quality_changes) for r in self.rows],
+            title="Ablation: adaptive vs fixed-quality streaming (T1)")
+
+
+def run(seeds: Sequence[int] = (1, 2),
+        fixed_levels: Sequence[int] = (2, 4),
+        **overrides) -> StaticAblationResult:
+    overrides.setdefault("duration", 40.0)
+    rows = []
+
+    def pooled(name, build):
+        stalls = stall_time = gaps = changes = 0.0
+        mean_layers = 0.0
+        for seed in seeds:
+            session = build(seed).run()
+            summary = session.summary()
+            stalls += summary["stalls_receiver"]
+            stall_time += summary["stall_time_receiver"]
+            gaps += summary["gap_bytes"]
+            changes += summary["quality_changes"]
+            mean_layers += summary["mean_layers"]
+        n = len(seeds)
+        rows.append(StaticRow(name, mean_layers / n, int(stalls),
+                              stall_time, gaps / n, int(changes)))
+
+    pooled("adaptive",
+           lambda seed: PaperWorkload(
+               WorkloadConfig(seed=seed, **overrides)))
+    for level in fixed_levels:
+        pooled(f"fixed {level} layers",
+               lambda seed, lv=level: PaperWorkload(
+                   WorkloadConfig(seed=seed, max_layers=lv, **overrides),
+                   adapter_cls=FixedQualityAdapter))
+    return StaticAblationResult(rows=rows)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+"""Shared workload builder: the paper's T1 and T2 tests.
+
+T1 (section 5, Figure 11): one quality-adaptive RAP flow sharing a
+bottleneck with 9 plain RAP flows and 10 Sack-TCP flows.
+
+T2 (Figure 13): T1 plus a CBR source at half the bottleneck bandwidth,
+switched on at t=30 s and off at t=60 s.
+
+Calibration note (recorded in DESIGN.md section 6 and EXPERIMENTS.md):
+the paper quotes an 800 Kb/s bottleneck for 20 flows, yet its figures
+show the adaptive flow operating at 10-45 KB/s against C = 10 KB/s
+layers. We keep the paper's flow mix and RTT but scale the bottleneck to
+400 KB/s (3.2 Mb/s) and use C = 6.5 KB/s / 500-byte packets, which puts
+the adaptive flow at the same *relative* operating point as the paper's
+plots (hunting around three active layers). All experiments accept
+overrides, so the literal 800 Kb/s setting is one argument away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+from repro.core.config import QAConfig
+from repro.core.metrics import QualityMetrics
+from repro.server.session import SessionResult, StreamingSession
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRNG, make_rng
+from repro.sim.topology import Dumbbell, DumbbellConfig
+from repro.transport import (
+    CbrSink,
+    CbrSource,
+    RapSink,
+    RapSource,
+    TcpSink,
+    TcpSource,
+)
+
+
+@dataclass
+class WorkloadConfig:
+    """Everything that defines one T1/T2-style run."""
+
+    # Quality adaptation
+    k_max: int = 2
+    layer_rate: float = 6500.0
+    max_layers: int = 4
+    packet_size: int = 500
+    allocator: str = "optimal"
+    add_rule: str = "buffer_only"
+    feedback: str = "send"
+    # Network
+    bottleneck_bandwidth: float = 400_000.0
+    queue_capacity: int = 100
+    n_rap_background: int = 9
+    n_tcp: int = 10
+    # Run
+    duration: float = 40.0
+    seed: int = 1
+    # CBR burst (T2); fraction 0 disables it
+    cbr_fraction: float = 0.0
+    cbr_start: float = 30.0
+    cbr_stop: float = 60.0
+
+    def qa_config(self) -> QAConfig:
+        return QAConfig(
+            layer_rate=self.layer_rate,
+            max_layers=self.max_layers,
+            k_max=self.k_max,
+            packet_size=self.packet_size,
+            allocator=self.allocator,
+            add_rule=self.add_rule,
+            feedback=self.feedback,
+        )
+
+    @classmethod
+    def t2(cls, **overrides) -> "WorkloadConfig":
+        """The T2 (CBR burst, 90 s) variant."""
+        overrides.setdefault("cbr_fraction", 0.5)
+        overrides.setdefault("duration", 90.0)
+        return cls(**overrides)
+
+
+class PaperWorkload:
+    """Builds and runs one T1/T2 experiment.
+
+    Per-flow parameters (initial SRTT estimates, start times) are
+    jittered from the seed so different seeds give independent loss
+    patterns while every run stays exactly reproducible.
+    """
+
+    def __init__(self, config: Optional[WorkloadConfig] = None,
+                 adapter_cls=None, transport_cls=None,
+                 **overrides) -> None:
+        if config is None:
+            config = WorkloadConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.adapter_cls = adapter_cls
+        self.transport_cls = transport_cls
+        self.rng: SeededRNG = make_rng(config.seed)
+
+        cfg = config
+        n_pairs = 1 + cfg.n_rap_background + cfg.n_tcp
+        if cfg.cbr_fraction > 0:
+            n_pairs += 1
+        self.sim = Simulator()
+        self.network = Dumbbell(self.sim, DumbbellConfig(
+            n_pairs=n_pairs,
+            bottleneck_bandwidth=cfg.bottleneck_bandwidth,
+            queue_capacity_packets=cfg.queue_capacity,
+        ))
+        self.session = self._build_session()
+        self.background_rap: list[RapSource] = []
+        self.background_tcp: list[TcpSource] = []
+        self.cbr: Optional[CbrSource] = None
+        self._build_background()
+
+    # ------------------------------------------------------------- builders
+
+    def _build_session(self) -> StreamingSession:
+        server_host, client_host = self.network.pair(0)
+        return StreamingSession(
+            self.sim, server_host, client_host,
+            self.config.qa_config(),
+            adapter_cls=self.adapter_cls,
+            transport_cls=self.transport_cls,
+        )
+
+    def _build_background(self) -> None:
+        cfg = self.config
+        slot = 1
+        for _ in range(cfg.n_rap_background):
+            src, dst = self.network.pair(slot)
+            rap = RapSource(
+                self.sim, src, dst.name,
+                packet_size=cfg.packet_size,
+                srtt_init=self.rng.jittered(0.2, 0.25),
+                start=self.rng.uniform(0.0, 0.3),
+            )
+            RapSink(self.sim, dst, src.name, rap.flow_id)
+            self.background_rap.append(rap)
+            slot += 1
+        for _ in range(cfg.n_tcp):
+            src, dst = self.network.pair(slot)
+            tcp = TcpSource(self.sim, src, dst.name,
+                            start=self.rng.uniform(0.0, 0.5))
+            TcpSink(self.sim, dst, src.name, tcp.flow_id)
+            self.background_tcp.append(tcp)
+            slot += 1
+        if cfg.cbr_fraction > 0:
+            src, dst = self.network.pair(slot)
+            self.cbr = CbrSource(
+                self.sim, src, dst.name,
+                rate=cfg.cbr_fraction * cfg.bottleneck_bandwidth,
+                start=cfg.cbr_start, stop=cfg.cbr_stop,
+            )
+            CbrSink(self.sim, dst, src.name, self.cbr.flow_id)
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> SessionResult:
+        self.sim.run(until=self.config.duration)
+        return self.session.result()
+
+    def network_summary(self) -> dict:
+        """Bottleneck-level sanity numbers for reports."""
+        cfg = self.config
+        link = self.network.bottleneck
+        return {
+            "bottleneck_utilization": (
+                link.bytes_forwarded / (cfg.bottleneck_bandwidth
+                                        * cfg.duration)),
+            "bottleneck_drops": link.queue.drops,
+            "qa_flow_rate": self.session.server.rap.rate,
+        }
+
+
+def pooled_metrics(seeds, build) -> QualityMetrics:
+    """Run ``build(seed).run()`` per seed and pool the QA metrics.
+
+    Single 40-second runs contain only a handful of drop events; Tables 1
+    and 2 are reported over the pooled events of several seeds.
+    """
+    pooled = QualityMetrics()
+    for seed in seeds:
+        result = build(seed).run()
+        pooled.drops.extend(result.metrics.drops)
+        pooled.adds.extend(result.metrics.adds)
+        pooled.stall_count += result.playout.stall_count
+        pooled.stall_time += result.playout.stall_time
+    return pooled

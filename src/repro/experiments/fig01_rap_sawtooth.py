@@ -1,0 +1,78 @@
+"""Figure 1: transmission rate of a single RAP flow.
+
+One RAP source through a fixed-bandwidth bottleneck. The paper's figure
+shows the characteristic AIMD sawtooth hunting around the link rate:
+linear climbs, multiplicative halvings at each loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import ascii_chart, format_kv
+from repro.sim.engine import Simulator
+from repro.sim.topology import Dumbbell, DumbbellConfig
+from repro.sim.trace import PeriodicSampler, TimeSeries
+from repro.transport import RapSink, RapSource
+
+
+@dataclass
+class Fig01Result:
+    rate: TimeSeries
+    link_bandwidth: float
+    backoffs: int
+    mean_rate: float
+    utilization: float
+
+    def render(self) -> str:
+        link = TimeSeries("link")
+        for t in (self.rate.times[0], self.rate.times[-1]):
+            link.record(t, self.link_bandwidth)
+        out = ascii_chart(
+            self.rate, title="Figure 1: RAP transmission rate (*) vs "
+            "link bandwidth (o), bytes/s", overlay=link)
+        out += format_kv({
+            "link_bandwidth_Bps": self.link_bandwidth,
+            "mean_rate_Bps": self.mean_rate,
+            "utilization": self.utilization,
+            "backoffs": self.backoffs,
+        })
+        return out
+
+
+def run(link_bandwidth: float = 12_500.0, duration: float = 40.0,
+        packet_size: int = 500, queue_packets: int = 12) -> Fig01Result:
+    """Run the figure-1 scenario.
+
+    Defaults put the link at 12.5 KB/s (the paper's axis tops at about
+    14 KB/s) with a small drop-tail queue so losses come regularly.
+    """
+    sim = Simulator()
+    net = Dumbbell(sim, DumbbellConfig(
+        n_pairs=1,
+        bottleneck_bandwidth=link_bandwidth,
+        queue_capacity_packets=queue_packets,
+    ))
+    src, dst = net.pair(0)
+    rap = RapSource(sim, src, dst.name, packet_size=packet_size)
+    sink = RapSink(sim, dst, src.name, rap.flow_id)
+
+    rate = TimeSeries("rap_rate")
+    PeriodicSampler(sim, 0.05, lambda now: rate.record(now, rap.rate))
+    sim.run(until=duration)
+
+    return Fig01Result(
+        rate=rate,
+        link_bandwidth=link_bandwidth,
+        backoffs=rap.stats.backoffs,
+        mean_rate=rate.time_average(),
+        utilization=sink.stats.bytes_received / (link_bandwidth * duration),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

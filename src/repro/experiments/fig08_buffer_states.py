@@ -1,0 +1,62 @@
+"""Figure 8: optimal buffer states for k backoffs, scenarios 1 and 2.
+
+For each k = 1..k_max the per-layer optimal allocation under both
+scenarios, illustrating the paper's observations: scenario 1 spreads
+buffering over more layers (deeper immediate deficit), scenario 2 needs
+more total buffering but concentrates it lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import format_table
+from repro.core import formulas
+
+
+@dataclass
+class Fig08Result:
+    rate: float
+    layer_rate: float
+    active_layers: int
+    slope: float
+    k_max: int
+
+    def rows(self) -> list[tuple]:
+        out = []
+        consumption = self.active_layers * self.layer_rate
+        for k in range(1, self.k_max + 1):
+            for scenario in (formulas.SCENARIO_ONE, formulas.SCENARIO_TWO):
+                total = formulas.scenario_total(
+                    self.rate, consumption, self.slope, k, scenario)
+                shares = formulas.scenario_shares(
+                    self.rate, self.layer_rate, self.active_layers,
+                    self.slope, k, scenario)
+                out.append((f"S{scenario}", k, round(total), *(
+                    round(s) for s in shares)))
+        return out
+
+    def render(self) -> str:
+        headers = ("scenario", "k", "total",
+                   *(f"L{i}" for i in range(self.active_layers)))
+        return format_table(
+            headers, self.rows(),
+            title=f"Figure 8: optimal buffer states (bytes), R="
+            f"{self.rate:.0f}, C={self.layer_rate:.0f}, "
+            f"na={self.active_layers}, S={self.slope:.0f}")
+
+
+def run(rate: float = 30_000.0, layer_rate: float = 6500.0,
+        active_layers: int = 4, slope: float = 8000.0,
+        k_max: int = 5) -> Fig08Result:
+    return Fig08Result(rate=rate, layer_rate=layer_rate,
+                       active_layers=active_layers, slope=slope,
+                       k_max=k_max)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

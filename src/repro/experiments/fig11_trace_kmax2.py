@@ -1,0 +1,67 @@
+"""Figure 11: the first 40 seconds of the K_max = 2 trace (test T1).
+
+One quality-adaptive RAP flow against 9 RAP and 10 TCP flows. The
+paper's five panels, reproduced as ASCII charts over the same trace:
+
+1. total transmit rate with the consumption rate (layer count) overlaid;
+2. transmit rate broken down by layer (per-layer bandwidth share);
+3. per-layer bandwidth share (same data, separate panels);
+4. per-layer buffer drain rate;
+5. per-layer accumulated receiver buffering.
+
+Shape checks (asserted by the test suite, reported here): most bandwidth
+variation is absorbed by the lowest layers; buffering is ordered
+base-heaviest; the base layer never underflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import ascii_chart, format_kv
+from repro.experiments.common import PaperWorkload, WorkloadConfig
+from repro.server.session import SessionResult
+
+
+@dataclass
+class Fig11Result:
+    session: SessionResult
+    workload: PaperWorkload
+
+    def render(self) -> str:
+        t = self.session.tracer
+        layers = self.workload.config.max_layers
+        out = ascii_chart(
+            t.get("rate"), overlay=t.get("consumption"),
+            title="Figure 11: transmit rate (*) vs consumption rate (o), "
+            "bytes/s")
+        for i in range(layers):
+            out += ascii_chart(
+                t.get(f"send_rate_L{i}"),
+                title=f"Figure 11: bandwidth share, layer {i} (bytes/s)")
+        for i in range(layers):
+            out += ascii_chart(
+                t.get(f"drain_rate_L{i}"),
+                title=f"Figure 11: buffer drain rate, layer {i} (bytes/s)")
+        for i in range(layers):
+            out += ascii_chart(
+                t.get(f"buffer_L{i}"),
+                title=f"Figure 11: buffered data, layer {i} (bytes)")
+        summary = self.session.summary()
+        summary.update(self.workload.network_summary())
+        out += format_kv(summary, title="Figure 11 summary")
+        return out
+
+
+def run(**overrides) -> Fig11Result:
+    overrides.setdefault("k_max", 2)
+    workload = PaperWorkload(WorkloadConfig(**overrides))
+    return Fig11Result(session=workload.run(), workload=workload)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Figure 12: the effect of the smoothing factor K_max.
+
+Repeats the T1 run with K_max = 2, 3, 4 (and optionally more). The
+paper's claims, which the table quantifies:
+
+- higher K_max means *fewer changes in quality* (adds + drops);
+- at the expense of a longer time until the best short-term quality is
+  first reached;
+- the total amount of buffering increases with K_max;
+- and a larger share of the buffering sits in higher layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis import format_table
+from repro.experiments.common import PaperWorkload, WorkloadConfig
+from repro.server.session import SessionResult
+
+
+@dataclass
+class KmaxRow:
+    k_max: int
+    quality_changes: int
+    adds: int
+    drops: int
+    time_to_max_quality: Optional[float]
+    mean_total_buffer: float
+    max_total_buffer: float
+    higher_layer_share: float
+    mean_layers: float
+
+
+@dataclass
+class Fig12Result:
+    rows: list[KmaxRow]
+    sessions: dict[int, SessionResult]
+
+    def render(self) -> str:
+        return format_table(
+            ("Kmax", "quality changes", "adds", "drops",
+             "t(first max quality) s", "mean buf (B)", "max buf (B)",
+             "higher-layer buf share %", "mean layers"),
+            [
+                (r.k_max, r.quality_changes, r.adds, r.drops,
+                 r.time_to_max_quality, round(r.mean_total_buffer),
+                 round(r.max_total_buffer),
+                 round(100 * r.higher_layer_share, 1),
+                 round(r.mean_layers, 2))
+                for r in self.rows
+            ],
+            title="Figure 12: effect of the smoothing factor K_max (T1)")
+
+
+def _analyze(k_max: int, session: SessionResult,
+             max_layers: int) -> KmaxRow:
+    tracer = session.tracer
+    layers_ts = tracer.get("layers")
+    time_to_max = None
+    for t, v in layers_ts:
+        if v >= max_layers:
+            time_to_max = t
+            break
+    total = tracer.get("total_buffer")
+    higher = 0.0
+    everything = 0.0
+    for i in range(max_layers):
+        mean_i = tracer.get(f"buffer_L{i}").mean()
+        everything += mean_i
+        if i >= 1:
+            higher += mean_i
+    share = higher / everything if everything > 0 else 0.0
+    summary = session.summary()
+    return KmaxRow(
+        k_max=k_max,
+        quality_changes=summary["quality_changes"],
+        adds=summary["adds"],
+        drops=summary["drops"],
+        time_to_max_quality=time_to_max,
+        mean_total_buffer=total.mean(),
+        max_total_buffer=total.max(),
+        higher_layer_share=share,
+        mean_layers=summary["mean_layers"],
+    )
+
+
+def run(k_values: Sequence[int] = (2, 3, 4), **overrides) -> Fig12Result:
+    rows = []
+    sessions = {}
+    for k_max in k_values:
+        workload = PaperWorkload(WorkloadConfig(k_max=k_max, **overrides))
+        session = workload.run()
+        sessions[k_max] = session
+        rows.append(_analyze(k_max, session,
+                             workload.config.max_layers))
+    return Fig12Result(rows=rows, sessions=sessions)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

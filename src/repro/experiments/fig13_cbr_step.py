@@ -1,0 +1,68 @@
+"""Figure 13: responsiveness to long-term bandwidth changes (test T2).
+
+The T1 mix plus a CBR source at half the bottleneck bandwidth, on from
+t=30 s to t=60 s, K_max = 4, 90-second run. The shape to reproduce:
+
+- when the CBR starts, the congestion controller's rate collapses and
+  the adapter sheds layers (top first), drawing on every layer's buffer
+  -- but the base layer keeps playing throughout;
+- when the CBR stops, the rate recovers and the layers are re-added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import ascii_chart, format_kv
+from repro.experiments.common import PaperWorkload, WorkloadConfig
+from repro.server.session import SessionResult
+
+
+@dataclass
+class Fig13Result:
+    session: SessionResult
+    workload: PaperWorkload
+
+    def phase_means(self) -> dict:
+        """Mean active layers before / during / after the CBR burst."""
+        layers = self.session.tracer.get("layers")
+        cfg = self.workload.config
+        return {
+            "mean_layers_before_cbr": layers.window(
+                5.0, cfg.cbr_start).mean(),
+            "mean_layers_during_cbr": layers.window(
+                cfg.cbr_start + 5.0, cfg.cbr_stop).mean(),
+            "mean_layers_after_cbr": layers.window(
+                cfg.cbr_stop + 5.0, cfg.duration).mean(),
+        }
+
+    def render(self) -> str:
+        t = self.session.tracer
+        out = ascii_chart(
+            t.get("rate"), overlay=t.get("consumption"),
+            title="Figure 13: transmit rate (*) vs consumption (o); CBR "
+            "on 30-60 s")
+        out += ascii_chart(t.get("layers"),
+                           title="Figure 13: active layers")
+        for i in range(self.workload.config.max_layers):
+            out += ascii_chart(
+                t.get(f"buffer_L{i}"),
+                title=f"Figure 13: buffered data, layer {i} (bytes)")
+        summary = self.session.summary()
+        summary.update(self.phase_means())
+        out += format_kv(summary, title="Figure 13 summary")
+        return out
+
+
+def run(**overrides) -> Fig13Result:
+    overrides.setdefault("k_max", 4)
+    workload = PaperWorkload(WorkloadConfig.t2(**overrides))
+    return Fig13Result(session=workload.run(), workload=workload)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

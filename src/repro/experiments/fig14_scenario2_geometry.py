@@ -1,0 +1,62 @@
+"""Figure 14 (appendix): Buf_total geometry for scenario 2.
+
+``k1`` immediate backoffs push the rate just below the consumption rate;
+the remaining ``k - k1`` backoffs then occur sequentially, each costing
+one identical triangle of height consumption/2. The experiment tabulates
+the decomposition and cross-checks it against the closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import format_kv, format_table
+from repro.core import formulas
+
+
+@dataclass
+class Fig14Result:
+    rate: float
+    consumption: float
+    slope: float
+    k: int
+
+    def render(self) -> str:
+        k1 = formulas.k1_backoffs(self.rate, self.consumption)
+        first_deficit = formulas.deficit_after_backoffs(
+            self.rate, self.consumption, k1)
+        first = formulas.triangle_area(first_deficit, self.slope)
+        sequential = formulas.triangle_area(self.consumption / 2.0,
+                                            self.slope)
+        total = formulas.scenario_total(
+            self.rate, self.consumption, self.slope, self.k,
+            formulas.SCENARIO_TWO)
+        rows = [("first triangle (k1 immediate backoffs)", first)]
+        rows += [
+            (f"sequential triangle {i + 1}", sequential)
+            for i in range(max(0, self.k - k1))
+        ]
+        out = format_table(("component", "bytes"), rows,
+                           title="Figure 14: scenario-2 decomposition")
+        out += format_kv({
+            "k": self.k,
+            "k1 (backoffs to cross consumption)": k1,
+            "sum_of_components": first + max(0, self.k - k1) * sequential,
+            "closed_form_total": total,
+        })
+        return out
+
+
+def run(rate: float = 30_000.0, layer_rate: float = 6500.0,
+        active_layers: int = 3, slope: float = 8000.0,
+        k: int = 4) -> Fig14Result:
+    return Fig14Result(rate=rate, consumption=active_layers * layer_rate,
+                       slope=slope, k=k)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments list
+    repro-experiments fig11
+    repro-experiments table1 --out /tmp/table1.txt
+    repro-experiments all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def render_experiment(name: str) -> str:
+    module = importlib.import_module(EXPERIMENTS[name])
+    result = module.run()
+    if hasattr(result, "render"):
+        return result.render()
+    # table2 renders via a module-level function
+    return module.render(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), 'list', or 'all'")
+    parser.add_argument(
+        "--out", default=None,
+        help="write output to this file (or directory for 'all')")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, module in sorted(EXPERIMENTS.items()):
+            print(f"{name:22s} {module}")
+        return 0
+
+    names = (sorted(EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print("use 'repro-experiments list'", file=sys.stderr)
+        return 2
+
+    if args.experiment == "all" and args.out:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            text = render_experiment(name)
+            (out_dir / f"{name}.txt").write_text(text)
+            print(f"wrote {out_dir / f'{name}.txt'}")
+        return 0
+
+    for name in names:
+        text = render_experiment(name)
+        if args.out:
+            pathlib.Path(args.out).write_text(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

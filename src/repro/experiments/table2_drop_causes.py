@@ -1,0 +1,70 @@
+"""Table 2: percentage of drops due to poor buffer distribution.
+
+Drops that would not have happened had the same total buffering been
+distributed differently across layers -- i.e. drop events where the
+*usable* buffering exceeded the recovery requirement but a layer had to
+go anyway. The paper reports 0% throughout T1 and a few percent for T2
+(growing, noisily, with K_max); '-' marks cells with no drop events at
+all (as in the paper's T2 / K_max=8 cell).
+
+Shares the data collection with Table 1 (same pooled runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis import format_table
+from repro.experiments.table1_efficiency import (
+    DEFAULT_K_VALUES,
+    DEFAULT_SEEDS,
+    TableResult,
+    collect,
+)
+
+
+@dataclass
+class Table2Result:
+    """A Table-2 view over the shared (Table 1 + Table 2) collection."""
+
+    inner: TableResult
+
+    @property
+    def k_values(self):
+        return self.inner.k_values
+
+    @property
+    def metrics(self):
+        return self.inner.metrics
+
+    def render(self) -> str:
+        return render(self.inner)
+
+
+def run(k_values: Sequence[int] = DEFAULT_K_VALUES,
+        seeds: Sequence[int] = DEFAULT_SEEDS,
+        **overrides) -> Table2Result:
+    return Table2Result(collect(k_values, seeds, **overrides))
+
+
+def render(result) -> str:
+    """Render any TableResult-shaped collection as Table 2."""
+    headers = ("test", *(f"Kmax={k}" for k in result.k_values))
+    out = format_table(
+        headers,
+        [result.poor_row("T1"), result.poor_row("T2")],
+        title="Table 2: drops due to poor buffer distribution (%)")
+    out += format_table(
+        headers,
+        [result.drops_row("T1"), result.drops_row("T2")],
+        title="(pooled drop events per cell)")
+    return out
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

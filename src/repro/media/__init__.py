@@ -1,0 +1,14 @@
+"""Layered media model: the synthetic stand-in for a hierarchical codec.
+
+The paper assumes a layered (hierarchically encoded) stored video with
+linearly spaced layers: every layer consumes the same constant rate C and
+an enhancement layer is only decodable when all lower layers are present.
+:mod:`repro.media.stream` models the encoded object; :mod:`repro.media.
+playout` models the client's playout engine (per-layer buffers, stall
+handling, delivered-quality accounting).
+"""
+
+from repro.media.stream import LayeredStream
+from repro.media.playout import PlayoutBuffer, PlayoutStats
+
+__all__ = ["LayeredStream", "PlayoutBuffer", "PlayoutStats"]

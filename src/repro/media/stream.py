@@ -1,0 +1,88 @@
+"""The layered encoded video object stored at the server.
+
+The paper's model (section 2): ``n`` layers, linearly spaced (each layer
+has the same constant consumption rate C), with the hierarchical decoding
+constraint that layer i is only useful when layers 0..i-1 are present.
+Real codecs vary instantaneous rate; the paper absorbs that with a little
+extra receiver buffering, and so do we.
+
+A :class:`LayeredStream` mostly answers bookkeeping questions: how many
+bytes of layer i exist up to playback position t, what total rate a given
+quality (layer count) consumes, and whether a layer set satisfies the
+decoding constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LayeredStream:
+    """A stored, layered-encoded video.
+
+    Attributes:
+        layer_rate: consumption rate C of every layer (bytes/s).
+        n_layers: how many layers the encoder produced.
+        duration: length of the clip in seconds (None = effectively
+            unbounded, e.g. a long movie relative to the experiment).
+        title: label used in traces.
+    """
+
+    layer_rate: float
+    n_layers: int
+    duration: Optional[float] = None
+    title: str = "clip"
+
+    def __post_init__(self) -> None:
+        if self.layer_rate <= 0:
+            raise ValueError("layer_rate must be positive")
+        if self.n_layers < 1:
+            raise ValueError("need at least a base layer")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive when given")
+
+    def consumption_rate(self, layers: int) -> float:
+        """Total decoder consumption at quality ``layers``."""
+        if not 0 <= layers <= self.n_layers:
+            raise ValueError(f"layers must be in 0..{self.n_layers}")
+        return layers * self.layer_rate
+
+    def layer_bytes(self, layer: int, position: float) -> float:
+        """Bytes of ``layer`` covering playback positions [0, position]."""
+        if not 0 <= layer < self.n_layers:
+            raise ValueError(f"no such layer {layer}")
+        if position < 0:
+            raise ValueError("position cannot be negative")
+        if self.duration is not None:
+            position = min(position, self.duration)
+        return self.layer_rate * position
+
+    def total_bytes(self, layers: Optional[int] = None) -> Optional[float]:
+        """Storage footprint of the first ``layers`` layers (None if
+        unbounded)."""
+        if self.duration is None:
+            return None
+        n = self.n_layers if layers is None else layers
+        return self.consumption_rate(n) * self.duration
+
+    def decodable_layers(self, present: Sequence[bool]) -> int:
+        """Highest decodable quality given which layers are present.
+
+        Hierarchical decoding: the answer is the length of the leading
+        all-present prefix.
+        """
+        count = 0
+        for i in range(min(len(present), self.n_layers)):
+            if not present[i]:
+                break
+            count += 1
+        return count
+
+    def packets_per_second(self, packet_size: int, layers: int) -> float:
+        """Packet rate needed to sustain quality ``layers``."""
+        if packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        return self.consumption_rate(layers) / packet_size

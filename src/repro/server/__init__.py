@@ -1,0 +1,15 @@
+"""End-to-end streaming: video server, client, and session wiring.
+
+- :class:`~repro.server.server.VideoServer` -- a RAP source whose packets
+  are scheduled by a :class:`~repro.core.adapter.QualityAdapter`.
+- :class:`~repro.server.client.VideoClient` -- a RAP sink feeding a
+  :class:`~repro.media.playout.PlayoutBuffer`.
+- :class:`~repro.server.session.StreamingSession` -- builds both ends on a
+  dumbbell slot and records every time series the paper's figures plot.
+"""
+
+from repro.server.server import VideoServer
+from repro.server.client import VideoClient
+from repro.server.session import StreamingSession, SessionResult
+
+__all__ = ["VideoServer", "VideoClient", "StreamingSession", "SessionResult"]

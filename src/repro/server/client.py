@@ -1,0 +1,56 @@
+"""The video client: RAP sink feeding the playout engine."""
+
+from __future__ import annotations
+
+from repro.core.config import QAConfig
+from repro.media.playout import PlayoutBuffer
+from repro.sim.engine import Simulator
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.sim.trace import PeriodicSampler
+from repro.transport.rap import RapSink
+
+
+class VideoClient:
+    """Receives a layered stream, ACKs it, buffers it, and plays it."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        server_name: str,
+        flow_id: int,
+        config: QAConfig,
+        start: float = 0.0,
+        clock_period: float = 0.05,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.playout = PlayoutBuffer(
+            layer_rate=config.layer_rate,
+            max_layers=config.max_layers,
+            playout_start=start + config.startup_delay,
+            layer_start_threshold=float(config.packet_size),
+        )
+        self.sink = RapSink(sim, host, server_name, flow_id,
+                            on_data=self._on_data)
+        # Keep the playout clock moving even when no packets arrive
+        # (that is exactly when stalls must be detected).
+        self._clock = PeriodicSampler(
+            sim, clock_period, self.playout.advance, start=start)
+
+    @property
+    def stats(self):
+        return self.playout.stats
+
+    def stop(self) -> None:
+        self._clock.stop()
+
+    def _on_data(self, packet: Packet) -> None:
+        layer = packet.layer
+        if layer is None:
+            return
+        self.playout.on_packet(
+            self.sim.now, layer, packet.size,
+            server_active=packet.meta.get("active"),
+        )

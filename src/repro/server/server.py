@@ -1,0 +1,99 @@
+"""The video server: quality adaptation riding on RAP.
+
+The paper's target environment is a server playing back stored layered
+video on demand. The server side is exactly two cooperating pieces: a RAP
+source providing congestion-controlled transmission opportunities, and a
+:class:`~repro.core.adapter.QualityAdapter` deciding which layer each
+opportunity carries. ACKs feed the adapter's receiver-buffer estimate;
+backoff notifications trigger the drop rule and freeze the draining path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adapter import QualityAdapter
+from repro.core.config import QAConfig
+from repro.media.stream import LayeredStream
+from repro.sim.engine import Simulator
+from repro.sim.node import Host
+from repro.sim.trace import PeriodicSampler
+from repro.transport.rap import RapSource
+
+
+class VideoServer:
+    """Streams one layered clip to one client over RAP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        client_name: str,
+        config: QAConfig,
+        stream: Optional[LayeredStream] = None,
+        start: float = 0.0,
+        on_event=None,
+        adapter_cls: type[QualityAdapter] = QualityAdapter,
+        transport_cls: type[RapSource] = RapSource,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.stream = stream or LayeredStream(
+            layer_rate=config.layer_rate, n_layers=config.max_layers)
+        if self.stream.n_layers < config.max_layers:
+            # The codec produced fewer layers than the adapter would use.
+            config = config.with_(max_layers=self.stream.n_layers)
+            self.config = config
+
+        # Any AIMD transport with RAP's hook signature works here (the
+        # paper's section-7 plan); see repro.transport.aimd.
+        self.rap = transport_cls(
+            sim, host, client_name,
+            packet_size=config.packet_size,
+            start=start,
+            payload_picker=self._pick_payload,
+            on_ack=self._on_ack,
+            on_loss=self._on_loss,
+            on_backoff=self._on_backoff,
+        )
+        self.adapter = adapter_cls(
+            config,
+            now_fn=lambda: sim.now,
+            rate_fn=lambda: self.rap.rate,
+            slope_fn=lambda: self.rap.slope,
+            start_time=start,
+            on_event=on_event,
+        )
+        self._ticker = PeriodicSampler(
+            sim, config.drain_period, lambda _now: self.adapter.tick(),
+            start=start)
+
+    @property
+    def flow_id(self) -> int:
+        return self.rap.flow_id
+
+    @property
+    def active_layers(self) -> int:
+        return self.adapter.active_layers
+
+    def stop(self) -> None:
+        self.rap.stop()
+        self._ticker.stop()
+
+    # ------------------------------------------------------------- wiring
+
+    def _pick_payload(self, seq: int) -> Optional[dict]:
+        return self.adapter.pick_layer(seq)
+
+    def _on_ack(self, seq: int, meta: dict, size: int) -> None:
+        layer = meta.get("layer")
+        if layer is not None:
+            self.adapter.on_delivered(layer, size)
+
+    def _on_loss(self, seq: int, meta: dict, size: int) -> None:
+        layer = meta.get("layer")
+        if layer is not None:
+            self.adapter.on_lost(layer, size)
+
+    def _on_backoff(self, new_rate: float) -> None:
+        self.adapter.on_backoff(new_rate)

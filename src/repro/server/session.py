@@ -1,0 +1,142 @@
+"""One quality-adaptive streaming session with full instrumentation.
+
+:class:`StreamingSession` builds a :class:`~repro.server.server.
+VideoServer` / :class:`~repro.server.client.VideoClient` pair on a
+dumbbell slot and records everything the paper's figures plot:
+
+- ``rate``            -- RAP transmission rate (bytes/s)
+- ``consumption``     -- na * C (bytes/s)
+- ``layers``          -- number of active layers
+- ``send_rate_L{i}``  -- per-layer bandwidth share (bytes/s)
+- ``drain_rate_L{i}`` -- per-layer buffer drain rate at the receiver
+- ``buffer_L{i}``     -- per-layer buffered bytes at the receiver
+- ``buffer_est_L{i}`` -- the server's estimate of the same
+- ``total_buffer``    -- sum of receiver buffers
+
+plus an event log (add/drop/backoff/playout events from the adapter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import QAConfig
+from repro.core.metrics import QualityMetrics
+from repro.media.playout import PlayoutStats
+from repro.media.stream import LayeredStream
+from repro.server.client import VideoClient
+from repro.server.server import VideoServer
+from repro.sim.engine import Simulator
+from repro.sim.node import Host
+from repro.sim.trace import PeriodicSampler, Tracer
+
+
+@dataclass
+class SessionResult:
+    """Everything an experiment needs after the run."""
+
+    tracer: Tracer
+    metrics: QualityMetrics
+    playout: PlayoutStats
+    duration: float
+
+    def summary(self) -> dict:
+        out = self.metrics.summary()
+        out.update(
+            stalls_receiver=self.playout.stall_count,
+            stall_time_receiver=self.playout.stall_time,
+            gap_bytes=self.playout.total_gap_bytes,
+            mean_layers=self.tracer.get("layers").time_average(),
+            mean_rate=self.tracer.get("rate").time_average(),
+        )
+        return out
+
+
+class StreamingSession:
+    """Server + client + tracing on one source/sink host pair."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_host: Host,
+        client_host: Host,
+        config: QAConfig,
+        stream: Optional[LayeredStream] = None,
+        start: float = 0.0,
+        sample_period: float = 0.1,
+        adapter_cls=None,
+        transport_cls=None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.tracer = Tracer()
+        self.sample_period = sample_period
+        self._start = start
+
+        from repro.core.adapter import QualityAdapter
+        from repro.transport.rap import RapSource
+
+        self.server = VideoServer(
+            sim, server_host, client_host.name, config, stream=stream,
+            start=start,
+            on_event=lambda t, kind, f: self.tracer.log_event(t, kind, **f),
+            adapter_cls=adapter_cls or QualityAdapter,
+            transport_cls=transport_cls or RapSource)
+        self.client = VideoClient(
+            sim, client_host, server_host.name, self.server.flow_id,
+            config, start=start)
+
+        self._last_sent = [0.0] * config.max_layers
+        self._last_consumed = [0.0] * config.max_layers
+        self._last_delivered = [0.0] * config.max_layers
+        self._sampler = PeriodicSampler(sim, sample_period, self._sample,
+                                        start=start)
+
+    # ------------------------------------------------------------ sampling
+
+    def _sample(self, now: float) -> None:
+        cfg = self.config
+        adapter = self.server.adapter
+        playout = self.client.playout
+        playout.advance(now)
+
+        self.tracer.record("rate", now, self.server.rap.rate)
+        self.tracer.record("consumption", now, adapter.consumption)
+        self.tracer.record("layers", now, adapter.active_layers)
+        self.tracer.record("total_buffer", now, playout.total_buffered())
+        self.tracer.record("srtt", now, self.server.rap.srtt)
+
+        dt = self.sample_period
+        for i in range(cfg.max_layers):
+            sent = adapter.sent_bytes_per_layer[i]
+            self.tracer.record(f"send_rate_L{i}", now,
+                               (sent - self._last_sent[i]) / dt)
+            self._last_sent[i] = sent
+
+            consumed = playout.buffers.consumed(i)
+            delivered = playout.buffers.delivered(i)
+            drain = max(0.0, (consumed - self._last_consumed[i])
+                        - (delivered - self._last_delivered[i])) / dt
+            self.tracer.record(f"drain_rate_L{i}", now, drain)
+            self._last_consumed[i] = consumed
+            self._last_delivered[i] = delivered
+
+            self.tracer.record(f"buffer_L{i}", now, playout.level(i))
+            self.tracer.record(f"buffer_est_L{i}", now,
+                               adapter.buffers.level(i))
+
+    # ------------------------------------------------------------- results
+
+    def result(self) -> SessionResult:
+        return SessionResult(
+            tracer=self.tracer,
+            metrics=self.server.adapter.metrics,
+            playout=self.client.playout.stats,
+            duration=self.sim.now - self._start,
+        )
+
+    def stop(self) -> None:
+        self.server.stop()
+        self.client.stop()
+        self._sampler.stop()

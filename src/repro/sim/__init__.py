@@ -1,0 +1,52 @@
+"""Discrete-event network simulation substrate.
+
+This subpackage is the stand-in for the ns-2 simulator used by the paper.
+It provides:
+
+- :mod:`repro.sim.engine` -- the event loop (:class:`Simulator`).
+- :mod:`repro.sim.packet` -- packets and packet types.
+- :mod:`repro.sim.link` -- point-to-point links with rate and delay.
+- :mod:`repro.sim.queues` -- drop-tail (and RED) queues.
+- :mod:`repro.sim.node` -- hosts and routers that forward packets.
+- :mod:`repro.sim.topology` -- canonical dumbbell topology builder.
+- :mod:`repro.sim.parking_lot` -- multi-bottleneck chain topology.
+- :mod:`repro.sim.flowmon` -- per-flow throughput and Jain fairness.
+- :mod:`repro.sim.trace` -- time-series recording of simulation state.
+- :mod:`repro.sim.rng` -- deterministic random-number utilities.
+
+The simulator is deliberately small but faithful where it matters for the
+paper: packet-level transmission and queueing at a shared bottleneck so that
+AIMD flows (RAP, TCP) interact through real queue occupancy and drops.
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.packet import Packet, PacketType
+from repro.sim.link import Link
+from repro.sim.queues import DropTailQueue, REDQueue
+from repro.sim.node import Node, Host, Router
+from repro.sim.topology import Dumbbell, DumbbellConfig
+from repro.sim.parking_lot import ParkingLot, ParkingLotConfig
+from repro.sim.flowmon import FlowMonitor, jain_index
+from repro.sim.trace import TimeSeries, Tracer, PeriodicSampler
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "PacketType",
+    "Link",
+    "DropTailQueue",
+    "REDQueue",
+    "Node",
+    "Host",
+    "Router",
+    "Dumbbell",
+    "DumbbellConfig",
+    "ParkingLot",
+    "ParkingLotConfig",
+    "FlowMonitor",
+    "jain_index",
+    "TimeSeries",
+    "Tracer",
+    "PeriodicSampler",
+]

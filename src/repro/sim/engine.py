@@ -1,0 +1,152 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop. Events are ``(time, priority, seq)``
+ordered; ``seq`` is a monotonically increasing tie-breaker so that events
+scheduled earlier run earlier at equal timestamps, which keeps runs fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)``. ``cancelled`` events stay in
+    the heap but are skipped when popped (lazy deletion).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second"))
+        sim.run(until=10.0)
+
+    Components receive the simulator instance and call :meth:`schedule` /
+    :meth:`schedule_at` to arrange future work. ``sim.now`` is the current
+    simulation time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False when nothing is pending."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap yielded an event in the past")
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 0) -> None:
+        """Run events until the heap drains or ``until`` seconds elapse.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run and
+        the clock finishes at ``until`` even if the heap drained earlier.
+        ``max_events`` (when nonzero) bounds total events as a runaway guard.
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self._running:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+                if max_events and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway sim?)"
+                    )
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop a :meth:`run` in progress after the current event."""
+        self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,93 @@
+"""Flow monitoring: per-flow throughput and fairness statistics.
+
+The paper's motivation is inter-protocol fairness ("end systems are
+expected to be cooperative"); this module provides the measurement side:
+attach a :class:`FlowMonitor` to a link and get per-flow byte counts,
+windowed throughput series and Jain's fairness index -- used by the
+experiment harnesses' sanity checks and by tests that verify RAP and TCP
+actually share the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.trace import PeriodicSampler, TimeSeries
+
+
+def jain_index(rates: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one hog."""
+    values = [r for r in rates if r >= 0]
+    if not values:
+        return 1.0
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(r * r for r in values)
+    return total * total / (len(values) * squares)
+
+
+class FlowMonitor:
+    """Counts per-flow bytes crossing a link and samples throughputs.
+
+    Wraps the link's receiver hook, so it sees exactly the packets that
+    made it across (post-drop).
+    """
+
+    def __init__(self, sim: Simulator, link: Link,
+                 sample_period: float = 1.0) -> None:
+        self.sim = sim
+        self.link = link
+        self.bytes_by_flow: dict[int, int] = defaultdict(int)
+        self.packets_by_flow: dict[int, int] = defaultdict(int)
+        self.throughput: dict[int, TimeSeries] = {}
+        self._window_bytes: dict[int, int] = defaultdict(int)
+        self.sample_period = sample_period
+        self._start_time = sim.now
+
+        inner = link.receiver
+        if inner is None:
+            raise ValueError("link must be connected before monitoring")
+
+        def tap(packet: Packet) -> None:
+            if packet.is_data():
+                self.bytes_by_flow[packet.flow_id] += packet.size
+                self.packets_by_flow[packet.flow_id] += 1
+                self._window_bytes[packet.flow_id] += packet.size
+            inner(packet)
+
+        link.connect(tap)
+        self._sampler = PeriodicSampler(sim, sample_period, self._sample)
+
+    def _sample(self, now: float) -> None:
+        for flow_id, nbytes in self._window_bytes.items():
+            series = self.throughput.setdefault(
+                flow_id, TimeSeries(f"flow{flow_id}"))
+            series.record(now, nbytes / self.sample_period)
+        self._window_bytes = defaultdict(int)
+
+    # ------------------------------------------------------------ queries
+
+    def flows(self) -> list[int]:
+        return sorted(self.bytes_by_flow)
+
+    def mean_rate(self, flow_id: int,
+                  until: Optional[float] = None) -> float:
+        """Average delivered rate of a flow since monitoring began."""
+        elapsed = (until if until is not None else self.sim.now) \
+            - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_by_flow.get(flow_id, 0) / elapsed
+
+    def fairness(self, flow_ids: Optional[Iterable[int]] = None) -> float:
+        """Jain index over the mean rates of the given (or all) flows."""
+        ids = list(flow_ids) if flow_ids is not None else self.flows()
+        return jain_index([self.mean_rate(f) for f in ids])
+
+    def stop(self) -> None:
+        self._sampler.stop()

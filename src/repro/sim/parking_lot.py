@@ -1,0 +1,120 @@
+"""Parking-lot topology: multiple bottlenecks in series.
+
+The paper's motivation (§1.2) says congestion will increasingly live "in
+the backbone, often at provider interconnects" rather than at the last
+hop. A dumbbell has a single shared bottleneck; the parking lot chains
+several, with cross traffic entering and leaving at each hop:
+
+::
+
+    e2e_src --[R0]==hop0==[R1]==hop1==[R2]==hop2==[R3]-- e2e_dst
+               |            |           |            |
+           cross sources enter at Ri, exit at R(i+1)
+
+The end-to-end pair crosses every hop; cross pair ``i`` only crosses hop
+``i``. This is the classic setup where an end-to-end flow sees the
+*product* of per-hop loss and the sum of queueing delays -- a harsher
+environment than anything in the paper's evaluation, used by the
+robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.queues import DropTailQueue
+
+
+@dataclass
+class ParkingLotConfig:
+    """Parameters of the chain."""
+
+    n_hops: int = 3
+    hop_bandwidth: float = 100_000.0  # bytes/s per backbone hop
+    hop_delay: float = 0.01  # one-way per hop, seconds
+    access_bandwidth: float = 10_000_000.0
+    access_delay: float = 0.002
+    queue_capacity_packets: int = 50
+
+    def __post_init__(self) -> None:
+        if self.n_hops < 1:
+            raise ValueError("need at least one hop")
+
+
+class ParkingLot:
+    """A built parking-lot network.
+
+    Attributes:
+        e2e_source / e2e_sink: the end-to-end pair crossing every hop.
+        cross_sources / cross_sinks: one pair per hop, entering at the
+            hop's upstream router and leaving at its downstream router.
+        hops: the forward backbone links (where congestion lives).
+    """
+
+    def __init__(self, sim: Simulator, config: ParkingLotConfig) -> None:
+        self.sim = sim
+        self.config = config
+        n = config.n_hops
+        self.routers = [Router(sim, f"R{i}") for i in range(n + 1)]
+        self.hops: list[Link] = []
+        self.reverse_hops: list[Link] = []
+
+        for i in range(n):
+            forward = Link(sim, config.hop_bandwidth, config.hop_delay,
+                           DropTailQueue(config.queue_capacity_packets),
+                           name=f"hop{i}")
+            forward.connect(self.routers[i + 1].receive)
+            self.hops.append(forward)
+            backward = Link(sim, config.hop_bandwidth, config.hop_delay,
+                            DropTailQueue(1000), name=f"hop{i}-rev")
+            backward.connect(self.routers[i].receive)
+            self.reverse_hops.append(backward)
+
+        self.e2e_source = self._attach_host("e2e_src", 0)
+        self.e2e_sink = self._attach_host("e2e_dst", n)
+        self.cross_sources: list[Host] = []
+        self.cross_sinks: list[Host] = []
+        for i in range(n):
+            self.cross_sources.append(
+                self._attach_host(f"xsrc{i}", i))
+            self.cross_sinks.append(
+                self._attach_host(f"xdst{i}", i + 1))
+        self._build_routes()
+
+    def _attach_host(self, name: str, router_index: int) -> Host:
+        cfg = self.config
+        host = Host(self.sim, name)
+        router = self.routers[router_index]
+        up = Link(self.sim, cfg.access_bandwidth, cfg.access_delay,
+                  DropTailQueue(10_000), name=f"{name}->R{router_index}")
+        up.connect(router.receive)
+        host.set_default_route(up)
+        down = Link(self.sim, cfg.access_bandwidth, cfg.access_delay,
+                    DropTailQueue(10_000), name=f"R{router_index}->{name}")
+        down.connect(host.receive)
+        router.add_route(name, down)
+        self._host_router = getattr(self, "_host_router", {})
+        self._host_router[name] = router_index
+        return host
+
+    def _build_routes(self) -> None:
+        """Static shortest-path routes along the chain."""
+        n = self.config.n_hops
+        for i, router in enumerate(self.routers):
+            for name, at in self._host_router.items():
+                if at == i:
+                    continue  # local delivery route already installed
+                if at > i:
+                    router.add_route(name, self.hops[i])
+                else:
+                    router.add_route(name, self.reverse_hops[i - 1])
+
+    @property
+    def base_rtt(self) -> float:
+        """Propagation-only end-to-end RTT."""
+        cfg = self.config
+        return 2 * (2 * cfg.access_delay
+                    + cfg.n_hops * cfg.hop_delay)

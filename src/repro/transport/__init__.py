@@ -1,0 +1,26 @@
+"""Transport agents: RAP, TCP (Sack-style) and CBR.
+
+The paper's quality adaptation rides on RAP, a rate-based TCP-friendly AIMD
+congestion controller, and is evaluated against background traffic made of
+Sack-TCP flows, other RAP flows and an on/off CBR source. All three are
+implemented here on top of :mod:`repro.sim`.
+"""
+
+from repro.transport.base import FlowStats, TransportAgent
+from repro.transport.rap import RapSource, RapSink
+from repro.transport.aimd import WindowAimdSource, WindowAimdSink
+from repro.transport.tcp import TcpSource, TcpSink
+from repro.transport.cbr import CbrSource, CbrSink
+
+__all__ = [
+    "FlowStats",
+    "TransportAgent",
+    "RapSource",
+    "RapSink",
+    "WindowAimdSource",
+    "WindowAimdSink",
+    "TcpSource",
+    "TcpSink",
+    "CbrSource",
+    "CbrSink",
+]

@@ -1,0 +1,68 @@
+"""Constant-bit-rate on/off source.
+
+The paper's responsiveness test (Figure 13) switches on a CBR source at
+half the bottleneck bandwidth at t=30 s and off at t=60 s. CBR does not
+react to congestion — that is the point: it forces a large step change in
+the bandwidth available to everybody else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.transport.base import TransportAgent, next_flow_id
+
+
+class CbrSource(TransportAgent):
+    """Sends fixed-size packets at a fixed rate between start and stop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        peer_name: str,
+        rate: float,
+        flow_id: Optional[int] = None,
+        packet_size: int = 1000,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, host, peer_name,
+                         flow_id if flow_id is not None else next_flow_id())
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.packet_size = packet_size
+        self.interval = packet_size / rate
+        self.stop_time = stop
+        self._stopped = False
+        self._seq = 0
+        sim.schedule(max(0.0, start - sim.now), self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return
+        packet = self._make_packet(self._seq, self.packet_size)
+        self._seq += 1
+        self._transmit(packet)
+        self.sim.schedule(self.interval, self._tick)
+
+    def receive(self, packet: Packet) -> None:
+        """CBR ignores anything sent back to it."""
+
+
+class CbrSink(TransportAgent):
+    """Counts arriving CBR bytes; sends nothing back."""
+
+    def receive(self, packet: Packet) -> None:
+        if packet.is_data():
+            self.stats.packets_received += 1
+            self.stats.bytes_received += packet.size

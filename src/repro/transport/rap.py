@@ -1,0 +1,260 @@
+"""RAP: the Rate Adaptation Protocol (Rejaie, Handley, Estrin '99).
+
+RAP is a rate-based, TCP-friendly congestion controller using AIMD:
+
+- packets are emitted every IPG (inter-packet gap) seconds, so the send
+  rate is ``packet_size / ipg``;
+- once per smoothed RTT the rate is *additively* increased by one packet
+  per RTT (``rate += packet_size / srtt``);
+- losses are detected from ACK sequence holes (three-later-packets rule,
+  analogous to TCP's three dup-ACKs) or a conservative timeout, and cause a
+  *multiplicative* halving of the rate;
+- all losses belonging to one congestion event trigger a single backoff
+  (losses of packets sent before the last backoff are ignored).
+
+This is the variant **without** fine-grain (inter-RTT) adaptation, which is
+the one the paper's quality adaptation analysis assumes, because its
+sawtooth is the clean ``R -> R/2 -> linear climb`` shape the buffer
+formulas integrate over.
+
+The application hooks are what quality adaptation plugs into:
+
+- ``payload_picker(seq)``: called at every transmission opportunity;
+  returns the ``meta`` dict for the outgoing packet (e.g. which video layer
+  it carries). ``None`` means plain bulk data.
+- ``on_ack(seq, meta, size)``: a data packet was acknowledged.
+- ``on_loss(seq, meta, size)``: a data packet was declared lost.
+- ``on_backoff(new_rate)``: the AIMD halving just happened.
+
+RAP does not retransmit: reliability is the application's business (stored
+video prefers fresh data over old).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Host
+from repro.sim.packet import Packet, PacketType
+from repro.transport.base import TransportAgent, next_flow_id
+
+ACK_SIZE = 40
+
+PayloadPicker = Callable[[int], Optional[dict]]
+AckHandler = Callable[[int, dict, int], None]
+LossHandler = Callable[[int, dict, int], None]
+BackoffHandler = Callable[[float], None]
+
+
+class RapSource(TransportAgent):
+    """The sending half of a RAP flow."""
+
+    #: Loss is declared when a packet this many seqs newer is ACKed.
+    REORDER_THRESHOLD = 3
+    #: EWMA gains for SRTT/RTTVAR, RFC 6298 style.
+    SRTT_GAIN = 0.125
+    RTTVAR_GAIN = 0.25
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        peer_name: str,
+        flow_id: Optional[int] = None,
+        packet_size: int = 1000,
+        initial_rate: Optional[float] = None,
+        min_rate: Optional[float] = None,
+        srtt_init: float = 0.2,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        payload_picker: Optional[PayloadPicker] = None,
+        on_ack: Optional[AckHandler] = None,
+        on_loss: Optional[LossHandler] = None,
+        on_backoff: Optional[BackoffHandler] = None,
+    ) -> None:
+        super().__init__(sim, host, peer_name,
+                         flow_id if flow_id is not None else next_flow_id())
+        if packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        self.packet_size = packet_size
+        self.srtt = srtt_init
+        self.rttvar = srtt_init / 2
+        self.min_rate = (min_rate if min_rate is not None
+                         else packet_size / 2.0)  # one packet per 2 s
+        self._rate = (initial_rate if initial_rate is not None
+                      else packet_size / srtt_init)
+        self._rate = max(self._rate, self.min_rate)
+        self.payload_picker = payload_picker
+        self.on_ack = on_ack
+        self.on_loss = on_loss
+        self.on_backoff = on_backoff
+
+        self.next_seq = 0
+        self.recovery_seq = 0  # seqs below this don't trigger another backoff
+        self.highest_acked = -1
+        self._outstanding: dict[int, tuple[float, dict, int]] = {}
+        self._last_ack_time = start
+        self._stopped = False
+        self.stop_time = stop
+
+        sim.schedule(max(0.0, start - sim.now), self._start)
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def rate(self) -> float:
+        """Current transmission rate in bytes/s."""
+        return self._rate
+
+    @property
+    def ipg(self) -> float:
+        """Current inter-packet gap in seconds."""
+        return self.packet_size / self._rate
+
+    @property
+    def slope(self) -> float:
+        """Estimated rate of linear increase S in bytes/s per second.
+
+        RAP adds one packet per SRTT every SRTT, so S = P / srtt**2. This
+        is exactly the ``S`` the paper's buffer formulas need.
+        """
+        return self.packet_size / (self.srtt * self.srtt)
+
+    @property
+    def rto(self) -> float:
+        """Retransmission-style timeout used as the loss backstop."""
+        return min(5.0, max(0.2, self.srtt + 4 * self.rttvar))
+
+    def stop(self) -> None:
+        """Silence the source permanently."""
+        self._stopped = True
+
+    # ------------------------------------------------------------ internals
+
+    def _start(self) -> None:
+        if self._stopped:
+            return
+        self._send_tick()
+        self._step_tick()
+        self._timeout_tick()
+
+    def _active(self) -> bool:
+        if self._stopped:
+            return False
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return False
+        return True
+
+    def _send_tick(self) -> None:
+        if not self._active():
+            return
+        self._send_one()
+        self.sim.schedule(self.ipg, self._send_tick)
+
+    def _send_one(self) -> None:
+        meta: Optional[dict] = {}
+        if self.payload_picker is not None:
+            meta = self.payload_picker(self.next_seq)
+            if meta is None:
+                return  # application has nothing to send this slot
+        packet = self._make_packet(self.next_seq, self.packet_size, **meta)
+        self._outstanding[self.next_seq] = (self.sim.now, packet.meta,
+                                            self.packet_size)
+        self.next_seq += 1
+        self._transmit(packet)
+
+    def _step_tick(self) -> None:
+        """Once per SRTT: additive increase (the AI of AIMD)."""
+        if not self._active():
+            return
+        self._rate += self.packet_size / self.srtt
+        self.sim.schedule(self.srtt, self._step_tick)
+
+    def _timeout_tick(self) -> None:
+        if not self._active():
+            return
+        idle = self.sim.now - self._last_ack_time
+        if self._outstanding and idle > self.rto:
+            self.stats.timeouts += 1
+            for seq in sorted(self._outstanding):
+                self._declare_lost(seq)
+            self._backoff(self.next_seq)
+            self._last_ack_time = self.sim.now
+        self.sim.schedule(self.rto / 2, self._timeout_tick)
+
+    def _backoff(self, triggering_seq: int) -> None:
+        """Multiplicative decrease, once per congestion event."""
+        if triggering_seq < self.recovery_seq:
+            return  # this loss belongs to an already-handled event
+        self._rate = max(self.min_rate, self._rate / 2)
+        self.recovery_seq = self.next_seq
+        self.stats.backoffs += 1
+        if self.on_backoff is not None:
+            self.on_backoff(self._rate)
+
+    def _declare_lost(self, seq: int) -> None:
+        sent_at, meta, size = self._outstanding.pop(seq)
+        self.stats.packets_lost += 1
+        if self.on_loss is not None:
+            self.on_loss(seq, meta, size)
+
+    def _update_rtt(self, sample: float) -> None:
+        self.rttvar = ((1 - self.RTTVAR_GAIN) * self.rttvar
+                       + self.RTTVAR_GAIN * abs(self.srtt - sample))
+        self.srtt = (1 - self.SRTT_GAIN) * self.srtt + self.SRTT_GAIN * sample
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an incoming ACK."""
+        if not packet.is_ack():
+            return
+        self.stats.acks_received += 1
+        self._last_ack_time = self.sim.now
+        seq = packet.meta["acked_seq"]
+        echo = packet.meta.get("echo_ts")
+        if echo is not None:
+            self._update_rtt(self.sim.now - echo)
+
+        entry = self._outstanding.pop(seq, None)
+        if entry is not None and self.on_ack is not None:
+            _, meta, size = entry
+            self.on_ack(seq, meta, size)
+        self.highest_acked = max(self.highest_acked, seq)
+
+        # Hole-based loss detection: anything REORDER_THRESHOLD older than
+        # the newest ACK is gone.
+        horizon = self.highest_acked - self.REORDER_THRESHOLD
+        lost = [s for s in self._outstanding if s <= horizon]
+        if lost:
+            newest_lost = max(lost)
+            for s in sorted(lost):
+                self._declare_lost(s)
+            self._backoff(newest_lost)
+
+
+class RapSink(TransportAgent):
+    """The receiving half: ACKs every data packet, echoing its metadata."""
+
+    def __init__(self, sim: Simulator, host: Host, peer_name: str,
+                 flow_id: int,
+                 on_data: Optional[Callable[[Packet], None]] = None) -> None:
+        super().__init__(sim, host, peer_name, flow_id)
+        self.on_data = on_data
+
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_data():
+            return
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.size
+        if self.on_data is not None:
+            self.on_data(packet)
+        ack = self._make_packet(
+            packet.seq,
+            ACK_SIZE,
+            ptype=PacketType.ACK,
+            acked_seq=packet.seq,
+            echo_ts=packet.created_at,
+            data_size=packet.size,
+            **({"layer": packet.layer} if packet.layer is not None else {}),
+        )
+        self.host.send(ack)

@@ -1,0 +1,59 @@
+"""Unit tests for ASCII chart rendering."""
+
+from repro.analysis.ascii_plot import ascii_chart, sparkline
+from repro.sim.trace import TimeSeries
+
+
+def series(values, dt=1.0):
+    ts = TimeSeries("x")
+    for i, v in enumerate(values):
+        ts.record(i * dt, v)
+    return ts
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_uses_lowest_glyph(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line == "".join(sorted(line))
+
+    def test_resamples_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2], width=40)) == 2
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        out = ascii_chart(series([]), title="t")
+        assert "no data" in out
+
+    def test_contains_title_and_marks(self):
+        out = ascii_chart(series([0, 5, 10, 5, 0]), title="wave")
+        assert out.splitlines()[0] == "wave"
+        assert "*" in out
+
+    def test_overlay_marks(self):
+        main = series([0, 10, 0, 10])
+        over = series([5, 5, 5, 5])
+        out = ascii_chart(main, overlay=over)
+        assert "o" in out
+        assert "*" in out
+
+    def test_dimensions(self):
+        out = ascii_chart(series(range(100)), width=40, height=8)
+        rows = [line for line in out.splitlines() if "|" in line]
+        assert len(rows) == 8
+        assert all(len(r.split("|")[1]) == 40 for r in rows)
+
+    def test_axis_labels_present(self):
+        out = ascii_chart(series([0, 100]), title="t")
+        assert "100" in out
+        assert "t=0.0s" in out
+        assert "t=1.0s" in out

@@ -1,0 +1,68 @@
+"""Unit tests for trace export helpers."""
+
+import pytest
+
+from repro.analysis.export import (
+    export_csv,
+    export_events_csv,
+    export_gnuplot,
+    export_series_files,
+)
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.record("rate", 0.0, 100.0)
+    t.record("rate", 1.0, 200.0)
+    t.record("layers", 0.5, 2.0)
+    t.log_event(0.7, "add", layer=1, active=2)
+    return t
+
+
+class TestCsv:
+    def test_merged_csv(self, tracer, tmp_path):
+        target = export_csv(tracer, tmp_path / "out.csv")
+        lines = target.read_text().strip().splitlines()
+        assert lines[0] == "time,layers,rate"
+        assert len(lines) == 4  # header + 3 distinct times
+
+    def test_selected_names(self, tracer, tmp_path):
+        target = export_csv(tracer, tmp_path / "out.csv",
+                            names=["rate"])
+        assert target.read_text().splitlines()[0] == "time,rate"
+
+    def test_creates_parent_dirs(self, tracer, tmp_path):
+        target = export_csv(tracer, tmp_path / "a" / "b" / "out.csv")
+        assert target.exists()
+
+
+class TestSeriesFiles:
+    def test_one_file_per_series(self, tracer, tmp_path):
+        files = export_series_files(tracer, tmp_path / "series")
+        assert sorted(f.name for f in files) == ["layers.csv",
+                                                 "rate.csv"]
+
+    def test_raw_samples_preserved(self, tracer, tmp_path):
+        files = export_series_files(tracer, tmp_path, names=["rate"])
+        lines = files[0].read_text().strip().splitlines()
+        assert len(lines) == 3  # header + the two raw samples
+
+
+class TestEvents:
+    def test_event_rows(self, tracer, tmp_path):
+        target = export_events_csv(tracer, tmp_path / "events.csv")
+        lines = target.read_text().strip().splitlines()
+        assert lines[0] == "time,kind,fields"
+        assert "add" in lines[1]
+        assert "layer=1" in lines[1]
+
+
+class TestGnuplot:
+    def test_format(self, tracer, tmp_path):
+        target = export_gnuplot(tracer, tmp_path / "trace.dat")
+        lines = target.read_text().strip().splitlines()
+        assert lines[0].startswith("# time ")
+        assert len(lines) == 4
+        assert all(len(line.split()) == 3 for line in lines[1:])

@@ -1,0 +1,45 @@
+"""Unit tests for table/record formatting."""
+
+from repro.analysis.report import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (30, 40)])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "30" in lines[3]
+
+    def test_title_first_line(self):
+        text = format_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(("a",), [(None,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = format_table(("a",), [(1.2345,)])
+        assert "1.23" in text
+
+    def test_whole_floats_rendered_as_ints(self):
+        text = format_table(("a",), [(5.0,)])
+        assert text.splitlines()[-1].strip() == "5"
+
+    def test_empty_rows(self):
+        text = format_table(("col",), [])
+        assert "col" in text
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv({"short": 1, "much_longer_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        text = format_kv({"a": 1}, title="Summary")
+        assert text.splitlines()[0] == "Summary"
+
+    def test_empty_record(self):
+        assert format_kv({}) == "\n"

@@ -1,0 +1,141 @@
+"""Unit tests for the strawman allocators (section 2.3)."""
+
+import pytest
+
+from repro.baselines.allocators import (
+    BaseFirstFillingPolicy,
+    EqualShareFillingPolicy,
+    SimpleDrainingPlanner,
+)
+from repro.core.config import QAConfig
+from repro.core.states import StateSequence
+
+
+@pytest.fixture
+def config():
+    return QAConfig(layer_rate=5_000.0, max_layers=4, k_max=2,
+                    packet_size=500, maintenance_floor=0.0,
+                    base_floor=0.0)
+
+
+class TestEqualShare:
+    def test_distribute(self, config):
+        policy = EqualShareFillingPolicy(config)
+        assert policy._distribute(900.0, 3) == [300.0, 300.0, 300.0]
+
+    def test_fills_first_layer_below_equal_target(self, config):
+        policy = EqualShareFillingPolicy(config)
+        # S1k1 total is 3600 -> equal target 1200 per layer; the base is
+        # already above it, so L1 (first below) is chosen.
+        buffers = [2_000.0, 0.0, 500.0]
+        decision = policy.choose(18_000.0, buffers, 3, 5_000.0,
+                                 needs_floor=[False] * 3)
+        assert decision.layer == 1
+
+    def test_converges_to_equal_distribution(self, config):
+        policy = EqualShareFillingPolicy(config)
+        rate, na, slope = 18_000.0, 3, 5_000.0
+        buffers = [0.0] * na
+        for _ in range(10_000):
+            decision = policy.choose(rate, buffers, na, slope,
+                                     needs_floor=[False] * na)
+            if decision.layer is None:
+                break
+            buffers[decision.layer] += 100.0
+            if sum(buffers) > 1e6:
+                break
+        # The ladder climbs in state-sized steps and layers fill in index
+        # order, so the spread is bounded by one state's per-layer step.
+        spread = max(buffers) - min(buffers)
+        assert spread <= 2_000.0 + 1e-9
+
+
+class TestBaseFirst:
+    def test_distribute(self, config):
+        policy = BaseFirstFillingPolicy(config)
+        assert policy._distribute(900.0, 3) == [900.0, 0.0, 0.0]
+
+    def test_only_base_is_filled(self, config):
+        policy = BaseFirstFillingPolicy(config)
+        rate, na, slope = 18_000.0, 3, 5_000.0
+        buffers = [0.0] * na
+        for _ in range(10_000):
+            decision = policy.choose(rate, buffers, na, slope,
+                                     needs_floor=[False] * na)
+            if decision.layer is None:
+                break
+            assert decision.layer == 0
+            buffers[decision.layer] += 100.0
+            if buffers[0] > 1e6:
+                break
+        assert buffers[1] == 0.0
+        assert buffers[2] == 0.0
+
+
+class TestSimpleDrainingPlanner:
+    def seq(self, config):
+        return StateSequence(40_000.0, config.layer_rate, 4, 5_000.0, 2)
+
+    def test_rejects_unknown_order(self, config):
+        with pytest.raises(ValueError):
+            SimpleDrainingPlanner(config, order="sideways")
+
+    def test_equal_spreads_drain(self, config):
+        planner = SimpleDrainingPlanner(config, order="equal")
+        buffers = [10_000.0] * 4
+        plan = planner.plan(12_000.0, buffers, 4, 0.1, self.seq(config))
+        # Deficit 8000 B/s over 0.1 s = 800 B; 200 B from each layer.
+        for drain in plan.drain:
+            assert drain == pytest.approx(200.0)
+
+    def test_bottom_up_takes_base_first(self, config):
+        planner = SimpleDrainingPlanner(config, order="bottom_up")
+        buffers = [10_000.0] * 4
+        plan = planner.plan(16_000.0, buffers, 4, 0.1, self.seq(config))
+        assert plan.drain[0] > 0
+        assert plan.drain[3] == pytest.approx(0.0)
+
+    def test_top_down_takes_top_first(self, config):
+        planner = SimpleDrainingPlanner(config, order="top_down")
+        buffers = [10_000.0] * 4
+        plan = planner.plan(16_000.0, buffers, 4, 0.1, self.seq(config))
+        assert plan.drain[3] > 0
+        assert plan.drain[0] == pytest.approx(0.0)
+
+    def test_respects_per_layer_cap(self, config):
+        planner = SimpleDrainingPlanner(config, order="equal")
+        buffers = [10_000.0] * 4
+        plan = planner.plan(2_000.0, buffers, 4, 0.1, self.seq(config))
+        cap = config.layer_rate * 0.1
+        assert max(plan.drain) <= cap + 1e-9
+
+    def test_shortfall_reported(self, config):
+        planner = SimpleDrainingPlanner(config, order="equal")
+        plan = planner.plan(2_000.0, [0.0] * 4, 4, 0.1, self.seq(config))
+        assert plan.shortfall > 0
+
+    def test_base_protection(self):
+        cfg = QAConfig(layer_rate=5_000.0, max_layers=4, k_max=2,
+                       base_floor=1.0, maintenance_floor=0.0)
+        planner = SimpleDrainingPlanner(cfg, order="bottom_up")
+        seq = StateSequence(40_000.0, cfg.layer_rate, 4, 5_000.0, 2)
+        buffers = [5_000.0, 1_000.0, 0.0, 0.0]
+        plan = planner.plan(16_000.0, buffers, 4, 0.1, seq)
+        assert plan.drain[0] == pytest.approx(0.0)  # all protected
+
+
+class TestIntegrationWithAdapter:
+    def test_equal_share_runs_end_to_end(self):
+        from repro.experiments.common import PaperWorkload, WorkloadConfig
+        result = PaperWorkload(WorkloadConfig(
+            allocator="equal_share", duration=10.0)).run()
+        assert result.tracer.get("rate").mean() > 0
+
+    def test_base_first_concentrates_buffering(self):
+        from repro.experiments.common import PaperWorkload, WorkloadConfig
+        result = PaperWorkload(WorkloadConfig(
+            allocator="base_first", duration=15.0)).run()
+        t = result.tracer
+        base = t.get("buffer_L0").mean()
+        upper = t.get("buffer_L2").mean()
+        assert base > upper

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QAConfig
+from repro.sim.engine import Simulator
+from repro.sim.topology import Dumbbell, DumbbellConfig
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def qa_config() -> QAConfig:
+    """A small, fast default QA configuration for unit tests."""
+    return QAConfig(
+        layer_rate=5000.0,
+        max_layers=4,
+        k_max=2,
+        packet_size=500,
+        startup_delay=0.5,
+    )
+
+
+@pytest.fixture
+def dumbbell(sim) -> Dumbbell:
+    """A two-pair dumbbell with a 50 KB/s bottleneck."""
+    return Dumbbell(sim, DumbbellConfig(
+        n_pairs=2,
+        bottleneck_bandwidth=50_000.0,
+        queue_capacity_packets=20,
+    ))

@@ -1,0 +1,229 @@
+"""Unit tests for the QualityAdapter (driven directly, no network)."""
+
+import pytest
+
+from repro.core.adapter import QualityAdapter
+from repro.core.config import QAConfig
+from repro.core.metrics import DropCause
+
+
+class Harness:
+    """A hand-cranked environment for the adapter."""
+
+    def __init__(self, config=None, rate=30_000.0, slope=8_000.0):
+        self.config = config or QAConfig(
+            layer_rate=5_000.0, max_layers=4, k_max=2, packet_size=500,
+            startup_delay=0.5)
+        self.now = 0.0
+        self.rate = rate
+        self.slope = slope
+        self.events = []
+        self.adapter = QualityAdapter(
+            self.config,
+            now_fn=lambda: self.now,
+            rate_fn=lambda: self.rate,
+            slope_fn=lambda: self.slope,
+            on_event=lambda t, kind, f: self.events.append((t, kind, f)),
+        )
+        self._seq = 0
+
+    def send_packets(self, count, ack=True):
+        """Crank `count` transmission opportunities at the current time.
+
+        ``ack=True`` immediately acknowledges each packet (a zero-RTT
+        network); without it, in-flight data accumulates as if ACKs never
+        returned.
+        """
+        layers = []
+        for _ in range(count):
+            meta = self.adapter.pick_layer(self._seq)
+            self._seq += 1
+            layers.append(meta["layer"])
+            if ack:
+                self.adapter.on_delivered(meta["layer"],
+                                          self.config.packet_size)
+        return layers
+
+    def advance(self, dt, tick=True):
+        self.now += dt
+        if tick:
+            self.adapter.tick()
+
+    def drive(self, seconds, packets_per_tick=None):
+        """Run ticks at drain_period, sending rate-worth of packets."""
+        period = self.config.drain_period
+        if packets_per_tick is None:
+            packets_per_tick = max(
+                1, round(self.rate * period / self.config.packet_size))
+        steps = int(round(seconds / period))
+        for _ in range(steps):
+            self.send_packets(packets_per_tick)
+            self.advance(period)
+
+
+class TestStartup:
+    def test_base_layer_active_from_start(self):
+        h = Harness()
+        assert h.adapter.active_layers == 1
+        assert h.adapter.buffers.is_active(0)
+
+    def test_playout_starts_after_delay(self):
+        h = Harness()
+        h.send_packets(5)
+        assert not h.adapter.playout_started
+        h.advance(0.6)
+        assert h.adapter.playout_started
+        assert h.adapter.metrics.startup_latency == 0.5
+
+    def test_every_packet_carries_layer_and_active_count(self):
+        h = Harness()
+        meta = h.adapter.pick_layer(0)
+        assert meta["layer"] == 0
+        assert meta["active"] == h.adapter.active_layers
+
+    def test_before_playout_everything_is_filling(self):
+        h = Harness(rate=1_000.0)  # far below even one layer
+        assert h.adapter.is_filling()
+
+
+class TestAddAndGrow:
+    def test_layers_get_added_with_ample_bandwidth(self):
+        h = Harness(rate=40_000.0)
+        h.drive(10.0)
+        assert h.adapter.active_layers > 1
+        assert any(kind == "add" for _, kind, _ in h.events)
+
+    def test_never_exceeds_max_layers(self):
+        h = Harness(rate=200_000.0)
+        h.drive(20.0)
+        assert h.adapter.active_layers <= h.config.max_layers
+
+    def test_consumption_property(self):
+        h = Harness()
+        assert h.adapter.consumption == pytest.approx(
+            h.adapter.active_layers * h.config.layer_rate)
+
+    def test_buffers_grow_during_filling(self):
+        h = Harness(rate=30_000.0)
+        h.drive(5.0)
+        assert h.adapter.buffers.total() > 0
+
+
+class TestBackoffAndDrop:
+    def test_backoff_emits_event_and_freezes_path(self):
+        h = Harness(rate=30_000.0)
+        h.drive(5.0)
+        h.rate = 15_000.0
+        h.adapter.on_backoff(15_000.0)
+        assert any(kind == "backoff" for _, kind, _ in h.events)
+        assert h.adapter._sequence is not None
+
+    def test_deep_collapse_drops_layers(self):
+        h = Harness(rate=40_000.0)
+        h.drive(10.0)
+        before = h.adapter.active_layers
+        assert before > 1
+        # Catastrophic collapse: rate to a trickle, tick a while.
+        h.rate = 1_000.0
+        h.adapter.on_backoff(1_000.0)
+        h.drive(5.0, packets_per_tick=1)
+        assert h.adapter.active_layers < before
+        assert h.adapter.metrics.drops
+
+    def test_base_layer_never_dropped(self):
+        h = Harness(rate=40_000.0)
+        h.drive(5.0)
+        h.rate = 100.0
+        h.adapter.on_backoff(100.0)
+        h.drive(10.0, packets_per_tick=1)
+        assert h.adapter.active_layers >= 1
+
+    def test_drop_event_fields(self):
+        h = Harness(rate=40_000.0)
+        h.drive(10.0)
+        h.rate = 1_000.0
+        h.adapter.on_backoff(1_000.0)
+        h.drive(5.0, packets_per_tick=1)
+        event = h.adapter.metrics.drops[0]
+        assert event.buf_total >= event.buf_drop >= 0
+        assert event.required >= 0
+        assert isinstance(event.cause, DropCause)
+
+
+class TestFeedbackModes:
+    def test_send_mode_credits_at_send(self):
+        h = Harness()
+        h.send_packets(3)
+        assert h.adapter.buffers.delivered(0) == 3 * 500
+
+    def test_send_mode_withdraws_on_loss(self):
+        h = Harness()
+        h.send_packets(3)
+        h.adapter.on_lost(0, 500)
+        assert h.adapter.buffers.delivered(0) == 2 * 500
+
+    def test_ack_mode_credits_on_ack_only(self):
+        h = Harness(QAConfig(layer_rate=5_000.0, max_layers=4, k_max=2,
+                             packet_size=500, feedback="ack"))
+        h.send_packets(3, ack=False)
+        assert h.adapter.buffers.delivered(0) == 0
+        h.adapter.on_delivered(0, 500)
+        assert h.adapter.buffers.delivered(0) == 500
+
+    def test_oracle_mode_ignores_losses(self):
+        h = Harness(QAConfig(layer_rate=5_000.0, max_layers=4, k_max=2,
+                             packet_size=500, feedback="oracle"))
+        h.send_packets(3)
+        h.adapter.on_lost(0, 500)
+        assert h.adapter.buffers.delivered(0) == 3 * 500
+
+    def test_inflight_tracking(self):
+        h = Harness()
+        h.send_packets(4, ack=False)
+        assert h.adapter._inflight[0] == 4 * 500
+        h.adapter.on_delivered(0, 500)
+        assert h.adapter._inflight[0] == 3 * 500
+        h.adapter.on_lost(0, 500)
+        assert h.adapter._inflight[0] == 2 * 500
+
+    def test_safety_levels_subtract_inflight(self):
+        h = Harness()
+        h.send_packets(4, ack=False)
+        levels = h.adapter.buffer_levels()
+        safety = h.adapter.safety_levels()
+        assert safety[0] == pytest.approx(
+            max(0.0, levels[0] - h.adapter._inflight[0]))
+
+
+class TestAllocatorSelection:
+    def test_optimal_by_default(self):
+        from repro.core.draining import DrainingPlanner
+        from repro.core.filling import FillingPolicy
+        h = Harness()
+        assert type(h.adapter.filling_policy) is FillingPolicy
+        assert type(h.adapter.planner) is DrainingPlanner
+
+    def test_equal_share_selected(self):
+        from repro.baselines.allocators import EqualShareFillingPolicy
+        h = Harness(QAConfig(layer_rate=5_000.0, allocator="equal_share"))
+        assert isinstance(h.adapter.filling_policy,
+                          EqualShareFillingPolicy)
+
+    def test_base_first_selected(self):
+        from repro.baselines.allocators import BaseFirstFillingPolicy
+        h = Harness(QAConfig(layer_rate=5_000.0, allocator="base_first"))
+        assert isinstance(h.adapter.filling_policy,
+                          BaseFirstFillingPolicy)
+
+
+class TestSlopeSmoothing:
+    def test_slope_override_wins(self):
+        h = Harness(QAConfig(layer_rate=5_000.0, slope_override=1234.0))
+        assert h.adapter.slope == 1234.0
+
+    def test_slope_ewma_converges(self):
+        h = Harness(slope=10_000.0)
+        h.drive(2.0)
+        h.slope = 20_000.0
+        h.drive(20.0)
+        assert 15_000.0 < h.adapter.slope <= 20_000.0

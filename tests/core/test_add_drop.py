@@ -1,0 +1,125 @@
+"""Unit tests for the coarse-grain add/drop policy."""
+
+import pytest
+
+from repro.core import formulas
+from repro.core.add_drop import AddDropPolicy
+from repro.core.config import QAConfig
+from repro.core.states import StateSequence
+
+
+@pytest.fixture
+def policy(qa_config):
+    return AddDropPolicy(qa_config)
+
+
+def targets_for(config, rate, na, slope, k_max=None):
+    return StateSequence(rate, config.layer_rate, na, slope,
+                         k_max or config.k_max).final_targets
+
+
+class TestBufferOnlyRule:
+    def test_add_with_ample_everything(self, policy, qa_config):
+        rate, na, slope = 60_000.0, 2, 5_000.0
+        buffers = [1e6, 1e6]
+        assert policy.can_add(rate, rate, na, buffers, slope)
+
+    def test_no_add_with_empty_buffers_at_marginal_rate(self, policy):
+        # At 1.2x the current consumption, surviving backoffs needs real
+        # buffering. (At many multiples of the consumption rate, zero
+        # buffering is legitimately sufficient -- recovery is instant.)
+        assert not policy.can_add(12_000.0, 12_000.0, 2, [0.0, 0.0],
+                                  5_000.0)
+
+    def test_no_add_at_max_layers(self, policy, qa_config):
+        na = qa_config.max_layers
+        assert not policy.can_add(1e6, 1e6, na, [1e6] * na, 5_000.0)
+
+    def test_condition2_gates_marginal_rate(self, policy, qa_config):
+        # Rate barely above existing consumption: surviving one backoff
+        # with the new layer needs a lot of buffering.
+        na = 2
+        rate = qa_config.consumption(na) * 1.05
+        slope = 5_000.0
+        required = formulas.one_backoff_requirement(
+            rate, qa_config.consumption(na + 1), slope)
+        too_little = [required * 0.2, 0.0]
+        assert not policy.can_add(rate, rate, na, too_little, slope)
+
+    def test_per_layer_targets_must_be_met(self, policy, qa_config):
+        rate, na, slope = 60_000.0, 2, 5_000.0
+        targets = targets_for(qa_config, rate, na, slope)
+        # Plenty of total but everything in the base layer below L1's
+        # target: not addable unless L1 target is zero.
+        if targets[1] > 0:
+            buffers = [1e6, targets[1] * 0.5]
+            assert not policy.can_add(rate, rate, na, buffers, slope)
+
+    def test_base_reserve_raises_the_bar(self, policy, qa_config):
+        rate, na, slope = 60_000.0, 2, 5_000.0
+        targets = targets_for(qa_config, rate, na, slope)
+        exact = [targets[0] + 1, targets[1] + 1]
+        assert policy.can_add(rate, rate, na, exact, slope,
+                              base_reserve=0.0)
+        assert not policy.can_add(rate, rate, na, exact, slope,
+                                  base_reserve=10_000.0)
+
+
+class TestAverageBandwidthRule:
+    @pytest.fixture
+    def policy(self, qa_config):
+        return AddDropPolicy(qa_config.with_(
+            add_rule="average_bandwidth"))
+
+    def test_requires_average_above_new_consumption(self, policy,
+                                                    qa_config):
+        na = 2
+        new_consumption = qa_config.layer_rate * (na + 1)
+        assert not policy.can_add(
+            rate=1e6, average_rate=new_consumption * 0.9,
+            active_layers=na, buffers=[1e6, 1e6], slope=5_000.0)
+
+    def test_adds_when_average_sufficient(self, policy, qa_config):
+        na = 2
+        new_consumption = qa_config.layer_rate * (na + 1)
+        assert policy.can_add(
+            rate=1e6, average_rate=new_consumption * 1.1,
+            active_layers=na, buffers=[1e6, 1e6], slope=5_000.0)
+
+    def test_still_needs_one_backoff_buffering(self, policy, qa_config):
+        na = 2
+        new_consumption = qa_config.layer_rate * (na + 1)
+        assert not policy.can_add(
+            rate=new_consumption * 1.2,
+            average_rate=new_consumption * 1.1,
+            active_layers=na, buffers=[0.0, 0.0], slope=100.0)
+
+
+class TestBufferAndRateRule:
+    @pytest.fixture
+    def policy(self, qa_config):
+        return AddDropPolicy(qa_config.with_(add_rule="buffer_and_rate"))
+
+    def test_requires_instantaneous_rate(self, policy, qa_config):
+        na = 2
+        rate = qa_config.layer_rate * (na + 1) * 0.99
+        assert not policy.can_add(rate, rate, na, [1e6, 1e6], 5_000.0)
+
+    def test_adds_with_rate_and_buffers(self, policy, qa_config):
+        na = 2
+        rate = qa_config.layer_rate * (na + 1) * 2.0
+        assert policy.can_add(rate, rate, na, [1e6, 1e6], 5_000.0)
+
+
+class TestDropRule:
+    def test_delegates_to_formula(self, policy, qa_config):
+        kept = policy.layers_after_drop_rule(
+            rate=1_000.0, total_buffer=0.0, active_layers=4,
+            slope=1_000.0)
+        assert kept == 1
+
+    def test_no_drop_with_plenty(self, policy):
+        kept = policy.layers_after_drop_rule(
+            rate=100_000.0, total_buffer=1e9, active_layers=4,
+            slope=1_000.0)
+        assert kept == 4

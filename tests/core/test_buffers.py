@@ -1,0 +1,176 @@
+"""Unit and property tests for per-layer buffer accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import LayerBufferSet
+
+
+@pytest.fixture
+def buffers():
+    return LayerBufferSet(layer_rate=1000.0, max_layers=4)
+
+
+class TestLifecycle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerBufferSet(0.0, 4)
+        with pytest.raises(ValueError):
+            LayerBufferSet(1000.0, 0)
+
+    def test_activate_and_query(self, buffers):
+        buffers.activate(0, now=0.0)
+        assert buffers.is_active(0)
+        assert not buffers.is_active(1)
+
+    def test_double_activate_rejected(self, buffers):
+        buffers.activate(0, 0.0)
+        with pytest.raises(ValueError):
+            buffers.activate(0, 1.0)
+
+    def test_deactivate_returns_remaining(self, buffers):
+        buffers.activate(2, 0.0)
+        buffers.deliver(2, 500)
+        assert buffers.deactivate(2) == 500
+        assert not buffers.is_active(2)
+
+    def test_deactivate_inactive_rejected(self, buffers):
+        with pytest.raises(ValueError):
+            buffers.deactivate(1)
+
+    def test_reactivation_starts_clean(self, buffers):
+        buffers.activate(1, 0.0)
+        buffers.deliver(1, 500)
+        buffers.deactivate(1)
+        buffers.activate(1, 5.0)
+        assert buffers.level(1) == 0.0
+
+
+class TestDelivery:
+    def test_deliver_accumulates(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 300)
+        buffers.deliver(0, 200)
+        assert buffers.level(0) == 500
+
+    def test_deliver_to_inactive_is_ignored(self, buffers):
+        buffers.deliver(0, 300)
+        assert buffers.level(0) == 0.0
+
+    def test_negative_delivery_rejected(self, buffers):
+        buffers.activate(0, 0.0)
+        with pytest.raises(ValueError):
+            buffers.deliver(0, -1)
+
+    def test_withdraw(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 1000)
+        buffers.withdraw(0, 400)
+        assert buffers.level(0) == 600
+
+    def test_withdraw_can_go_negative_but_level_clamps(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 100)
+        buffers.withdraw(0, 500)
+        assert buffers.level(0) == 0.0
+
+
+class TestConsumption:
+    def test_no_consumption_before_start(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 5000)
+        buffers.consume_until(3.0)
+        assert buffers.level(0) == 5000
+
+    def test_consumes_at_layer_rate(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 5000)
+        buffers.start_consuming(0, 0.0)
+        buffers.consume_until(2.0)
+        assert buffers.level(0) == 3000
+
+    def test_start_consuming_requires_active(self, buffers):
+        with pytest.raises(ValueError):
+            buffers.start_consuming(0, 0.0)
+
+    def test_shortfall_reported(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 500)
+        buffers.start_consuming(0, 0.0)
+        shortfalls = buffers.consume_until(1.0)
+        assert shortfalls[0] == pytest.approx(500)
+        assert buffers.level(0) == 0.0
+
+    def test_no_shortfall_when_covered(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 2000)
+        buffers.start_consuming(0, 0.0)
+        assert buffers.consume_until(1.0) == {}
+
+    def test_independent_clocks(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.activate(1, 0.0)
+        buffers.deliver(0, 5000)
+        buffers.deliver(1, 5000)
+        buffers.start_consuming(0, 0.0)
+        buffers.start_consuming(1, 2.0)
+        buffers.consume_until(3.0)
+        assert buffers.level(0) == 2000  # 3 s of consumption
+        assert buffers.level(1) == 4000  # 1 s of consumption
+
+    def test_clock_does_not_go_backwards(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 1000)
+        buffers.start_consuming(0, 0.0)
+        buffers.consume_until(0.5)
+        buffers.consume_until(0.2)  # ignored
+        assert buffers.level(0) == 500
+
+    def test_pause_advances_without_draining(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 1000)
+        buffers.start_consuming(0, 0.0)
+        buffers.pause(5.0)
+        assert buffers.level(0) == 1000
+        buffers.consume_until(5.5)
+        assert buffers.level(0) == 500
+
+
+class TestAggregates:
+    def test_levels_and_total(self, buffers):
+        for i in range(3):
+            buffers.activate(i, 0.0)
+            buffers.deliver(i, 100 * (i + 1))
+        assert buffers.levels(3) == [100, 200, 300]
+        assert buffers.total(3) == 600
+        assert buffers.total() == 600
+
+    def test_delivered_and_consumed_counters(self, buffers):
+        buffers.activate(0, 0.0)
+        buffers.deliver(0, 1000)
+        buffers.start_consuming(0, 0.0)
+        buffers.consume_until(0.5)
+        assert buffers.delivered(0) == 1000
+        assert buffers.consumed(0) == 500
+
+
+class TestConservation:
+    @given(deliveries=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 5000)),
+        min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_levels_never_negative_and_conserve_bytes(self, deliveries):
+        buffers = LayerBufferSet(1000.0, 4)
+        for i in range(4):
+            buffers.activate(i, 0.0)
+            buffers.start_consuming(i, 0.0)
+        now = 0.0
+        for layer, nbytes in deliveries:
+            buffers.deliver(layer, nbytes)
+            now += 0.1
+            buffers.consume_until(now)
+        for i in range(4):
+            assert buffers.level(i) >= 0.0
+            assert (buffers.delivered(i)
+                    >= buffers.consumed(i) - 1e-6)

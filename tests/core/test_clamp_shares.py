@@ -1,0 +1,58 @@
+"""Focused tests for the scenario-2 clamp redistribution (section 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filling import FillingPolicy
+
+share_vectors = st.lists(st.floats(min_value=0, max_value=50_000),
+                         min_size=1, max_size=6)
+
+
+class TestClampShares:
+    def test_no_clamping_when_caps_are_loose(self):
+        raw = (100.0, 50.0, 10.0)
+        caps = (1000.0, 1000.0, 1000.0)
+        assert FillingPolicy._clamp_shares(raw, caps) == raw
+
+    def test_excess_carries_upward(self):
+        raw = (100.0, 0.0)
+        caps = (60.0, 1000.0)
+        clamped = FillingPolicy._clamp_shares(raw, caps)
+        assert clamped == (60.0, 40.0)
+
+    def test_cascading_carry(self):
+        raw = (100.0, 100.0, 0.0)
+        caps = (50.0, 50.0, 1000.0)
+        clamped = FillingPolicy._clamp_shares(raw, caps)
+        assert clamped == (50.0, 50.0, 100.0)
+
+    def test_leftover_lands_on_top_layer(self):
+        raw = (100.0, 100.0)
+        caps = (50.0, 50.0)
+        clamped = FillingPolicy._clamp_shares(raw, caps)
+        assert clamped == (50.0, 150.0)
+
+    def test_empty_vectors(self):
+        assert FillingPolicy._clamp_shares((), ()) == ()
+
+    @given(raw=share_vectors, caps=share_vectors)
+    @settings(max_examples=200)
+    def test_total_preserved(self, raw, caps):
+        n = min(len(raw), len(caps))
+        raw, caps = raw[:n], caps[:n]
+        clamped = FillingPolicy._clamp_shares(raw, caps)
+        assert math.fsum(clamped) == pytest.approx(math.fsum(raw),
+                                                   rel=1e-9, abs=1e-9)
+
+    @given(raw=share_vectors, caps=share_vectors)
+    @settings(max_examples=200)
+    def test_caps_respected_below_top(self, raw, caps):
+        n = min(len(raw), len(caps))
+        raw, caps = raw[:n], caps[:n]
+        clamped = FillingPolicy._clamp_shares(raw, caps)
+        for value, cap in zip(clamped[:-1], caps[:-1]):
+            assert value <= cap + 1e-9

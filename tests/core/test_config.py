@@ -1,0 +1,70 @@
+"""Unit tests for QAConfig validation and helpers."""
+
+import pytest
+
+from repro.core.config import QAConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        QAConfig()
+
+    @pytest.mark.parametrize("field,value", [
+        ("layer_rate", 0.0),
+        ("layer_rate", -1.0),
+        ("max_layers", 0),
+        ("k_max", 0),
+        ("packet_size", 0),
+        ("drain_period", 0.0),
+        ("maintenance_floor", -0.1),
+        ("base_floor", -0.1),
+        ("underflow_debt_packets", 0.0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            QAConfig(**{field: value})
+
+    @pytest.mark.parametrize("field,value", [
+        ("add_rule", "magic"),
+        ("allocator", "wat"),
+        ("feedback", "telepathy"),
+    ])
+    def test_rejects_unknown_enums(self, field, value):
+        with pytest.raises(ValueError):
+            QAConfig(**{field: value})
+
+    @pytest.mark.parametrize("rule", QAConfig.VALID_ADD_RULES)
+    def test_all_add_rules_accepted(self, rule):
+        QAConfig(add_rule=rule)
+
+    @pytest.mark.parametrize("allocator", QAConfig.VALID_ALLOCATORS)
+    def test_all_allocators_accepted(self, allocator):
+        QAConfig(allocator=allocator)
+
+    @pytest.mark.parametrize("feedback", QAConfig.VALID_FEEDBACK)
+    def test_all_feedback_modes_accepted(self, feedback):
+        QAConfig(feedback=feedback)
+
+
+class TestHelpers:
+    def test_with_returns_modified_copy(self):
+        base = QAConfig(k_max=2)
+        changed = base.with_(k_max=5)
+        assert changed.k_max == 5
+        assert base.k_max == 2
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            QAConfig().with_(k_max=0)
+
+    def test_floor_bytes(self):
+        cfg = QAConfig(layer_rate=10_000, maintenance_floor=0.25)
+        assert cfg.floor_bytes == 2500.0
+
+    def test_base_floor_bytes(self):
+        cfg = QAConfig(layer_rate=10_000, base_floor=0.5)
+        assert cfg.base_floor_bytes == 5000.0
+
+    def test_consumption(self):
+        cfg = QAConfig(layer_rate=10_000)
+        assert cfg.consumption(3) == 30_000.0

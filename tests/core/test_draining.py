@@ -1,0 +1,136 @@
+"""Unit and property tests for the draining planner (section 4.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QAConfig
+from repro.core.draining import DrainingPlanner
+from repro.core.states import StateSequence
+
+
+@pytest.fixture
+def config():
+    return QAConfig(layer_rate=5_000.0, max_layers=4, k_max=2,
+                    packet_size=500, maintenance_floor=0.0,
+                    base_floor=0.0)
+
+
+@pytest.fixture
+def planner(config):
+    return DrainingPlanner(config)
+
+
+def sequence_for(config, rate=40_000.0, na=4, slope=5_000.0):
+    return StateSequence(rate, config.layer_rate, na, slope,
+                         config.k_max)
+
+
+class TestPlanInvariants:
+    def test_rejects_mismatched_sequence(self, planner, config):
+        seq = sequence_for(config, na=3)
+        with pytest.raises(ValueError):
+            planner.plan(10_000.0, [0.0] * 4, 4, 0.1, seq)
+
+    def test_no_drain_needed_when_rate_covers(self, planner, config):
+        seq = sequence_for(config)
+        plan = planner.plan(25_000.0, [1000.0] * 4, 4, 0.1, seq)
+        assert plan.total_drain == pytest.approx(0.0)
+        assert plan.shortfall == 0.0
+
+    def test_quotas_complement_drains(self, planner, config):
+        seq = sequence_for(config)
+        buffers = [10_000.0, 5_000.0, 2_000.0, 500.0]
+        plan = planner.plan(12_000.0, buffers, 4, 0.1, seq)
+        cap = config.layer_rate * 0.1
+        for drain, quota in zip(plan.drain, plan.quotas):
+            assert quota == pytest.approx(cap - drain)
+
+    def test_covers_exact_deficit(self, planner, config):
+        seq = sequence_for(config)
+        buffers = [10_000.0, 5_000.0, 2_000.0, 500.0]
+        rate = 12_000.0  # deficit 8_000 B/s
+        plan = planner.plan(rate, buffers, 4, 0.1, seq)
+        assert plan.total_drain == pytest.approx(8_000 * 0.1)
+
+    def test_drains_top_layers_first(self, planner, config):
+        seq = sequence_for(config)
+        # Everyone holds plenty; a small deficit should come from the top.
+        buffers = [50_000.0] * 4
+        plan = planner.plan(19_000.0, buffers, 4, 0.1, seq)
+        assert plan.drain[3] > 0
+        assert plan.drain[0] == pytest.approx(0.0)
+
+    def test_per_layer_cap_is_consumption_rate(self, planner, config):
+        seq = sequence_for(config)
+        buffers = [50_000.0] * 4
+        # Deficit of 15_000 B/s: needs three layers at cap.
+        plan = planner.plan(5_000.0, buffers, 4, 0.1, seq)
+        cap = config.layer_rate * 0.1
+        assert max(plan.drain) <= cap + 1e-9
+        assert plan.total_drain == pytest.approx(15_000 * 0.1)
+
+    def test_shortfall_when_buffers_empty(self, planner, config):
+        seq = sequence_for(config)
+        plan = planner.plan(5_000.0, [0.0] * 4, 4, 0.1, seq)
+        assert plan.shortfall == pytest.approx(15_000 * 0.1)
+
+    def test_base_protection_respected(self, config):
+        cfg = config.with_(base_floor=1.0)  # 5000 bytes protected
+        planner = DrainingPlanner(cfg)
+        seq = StateSequence(40_000.0, cfg.layer_rate, 4, 5_000.0,
+                            cfg.k_max)
+        buffers = [5_000.0, 0.0, 0.0, 0.0]
+        plan = planner.plan(5_000.0, buffers, 4, 0.1, seq)
+        assert plan.drain[0] == pytest.approx(0.0)
+        assert plan.shortfall > 0
+
+    def test_extra_base_protection_parameter(self, planner, config):
+        seq = sequence_for(config)
+        buffers = [4_000.0, 0.0, 0.0, 0.0]
+        unprotected = planner.plan(5_000.0, buffers, 4, 0.1, seq)
+        protected = planner.plan(5_000.0, buffers, 4, 0.1, seq,
+                                 base_protection=4_000.0)
+        assert protected.drain[0] < unprotected.drain[0] + 1e-9
+        assert protected.shortfall >= unprotected.shortfall
+
+    def test_respects_path_targets_before_regressing(self, planner,
+                                                     config):
+        seq = sequence_for(config)
+        first = seq[0].effective_shares
+        # Buffers exactly at the first state's shares plus a little in
+        # the top layer: a small deficit should take the top layer's
+        # excess, not dip below the state's shares.
+        buffers = [s for s in first]
+        buffers[-1] += 400.0
+        plan = planner.plan(
+            config.layer_rate * 4 - 3_000.0, buffers, 4, 0.1, seq)
+        for layer in range(4):
+            remaining = buffers[layer] - plan.drain[layer]
+            if layer < 3:
+                assert remaining >= first[layer] - 1e-6
+
+
+class TestPlanProperties:
+    @given(rate=st.floats(min_value=1_000, max_value=19_000),
+           buffers=st.lists(st.floats(min_value=0, max_value=50_000),
+                            min_size=4, max_size=4),
+           period=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_conservation_and_bounds(self, rate, buffers, period):
+        cfg = QAConfig(layer_rate=5_000.0, max_layers=4, k_max=2,
+                       packet_size=500, maintenance_floor=0.0,
+                       base_floor=0.0)
+        planner = DrainingPlanner(cfg)
+        seq = StateSequence(40_000.0, cfg.layer_rate, 4, 5_000.0, 2)
+        plan = planner.plan(rate, buffers, 4, period, seq)
+        cap = cfg.layer_rate * period
+        need = max(0.0, (4 * cfg.layer_rate - rate) * period)
+        for layer in range(4):
+            assert -1e-9 <= plan.drain[layer] <= cap + 1e-9
+            assert plan.drain[layer] <= buffers[layer] + 1e-9
+            assert plan.quotas[layer] >= -1e-9
+        assert plan.total_drain + plan.shortfall == pytest.approx(
+            need, abs=1e-6)

@@ -1,0 +1,102 @@
+"""Tests for the fluid model -- the paper's clean-sawtooth environment."""
+
+import pytest
+
+from repro.core.config import QAConfig
+from repro.core.fluid import FluidRun, ScriptedAimd
+
+
+class TestScriptedAimd:
+    def test_linear_climb(self):
+        bw = ScriptedAimd(initial_rate=1000.0, slope=500.0)
+        assert bw.rate(0.0) == 1000.0
+        assert bw.rate(2.0) == 2000.0
+
+    def test_max_rate_cap(self):
+        bw = ScriptedAimd(initial_rate=1000.0, slope=1000.0,
+                          max_rate=1500.0)
+        assert bw.rate(10.0) == 1500.0
+
+    def test_backoff_halves(self):
+        bw = ScriptedAimd(initial_rate=1000.0, slope=500.0)
+        new = bw.apply_backoff(2.0)  # rate was 2000
+        assert new == 1000.0
+        assert bw.rate(2.0) == 1000.0
+        assert bw.rate(3.0) == 1500.0
+
+    def test_min_rate_floor(self):
+        bw = ScriptedAimd(initial_rate=300.0, slope=1.0, min_rate=200.0)
+        assert bw.apply_backoff(0.0) == 200.0
+
+    def test_backoffs_until_consumes(self):
+        bw = ScriptedAimd(1000.0, 500.0, backoff_times=(1.0, 2.0, 3.0))
+        assert bw.backoffs_until(2.5) == [1.0, 2.0]
+        assert bw.backoffs_until(2.5) == []
+        assert bw.backoffs_until(3.5) == [3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScriptedAimd(0.0, 1.0)
+
+
+class TestFluidRun:
+    def make_run(self, **overrides):
+        params = dict(layer_rate=4000.0, max_layers=3, k_max=2,
+                      packet_size=200, startup_delay=0.5)
+        params.update(overrides)
+        config = QAConfig(**params)
+        bandwidth = ScriptedAimd(
+            initial_rate=5000.0, slope=1500.0,
+            backoff_times=(12.0,), max_rate=14_000.0)
+        return FluidRun(config, bandwidth, duration=20.0)
+
+    def test_rejects_bad_duration(self):
+        config = QAConfig(layer_rate=1000.0)
+        with pytest.raises(ValueError):
+            FluidRun(config, ScriptedAimd(1000.0, 100.0), duration=0.0)
+
+    def test_run_produces_traces(self):
+        result = self.make_run().run()
+        assert len(result.tracer.get("rate")) > 100
+        assert len(result.tracer.get("buffer_L0")) > 100
+
+    def test_oracle_feedback_forced(self):
+        run = self.make_run()
+        assert run.config.feedback == "oracle"
+
+    def test_layers_climb_with_bandwidth(self):
+        result = self.make_run().run()
+        assert result.adapter.active_layers >= 2
+
+    def test_no_stalls_in_clean_conditions(self):
+        result = self.make_run().run()
+        assert result.metrics.stall_count == 0
+
+    def test_buffers_absorb_the_backoff(self):
+        """Around the scripted backoff, total buffering decreases (the
+        draining phase) and the consumption rate is maintained."""
+        result = self.make_run().run()
+        total = result.tracer.get("total_buffer")
+        before = total.value_at(11.9)
+        trough = min(total.window(12.0, 16.0).values)
+        assert trough < before
+
+    def test_base_layer_holds_most_buffering(self):
+        result = self.make_run().run()
+        t = result.tracer
+        assert t.get("buffer_L0").mean() >= t.get("buffer_L2").mean()
+
+    def test_sequential_filling_order(self):
+        """The base layer reaches a meaningful buffer level before the
+        top layer starts accumulating one (Figure 5's signature)."""
+        result = self.make_run().run()
+        t = result.tracer
+        top = t.get("buffer_L2")
+        first_top_fill = None
+        for time, value in top:
+            if value > 400:  # two packets
+                first_top_fill = time
+                break
+        if first_top_fill is not None:
+            base_then = t.get("buffer_L0").value_at(first_top_fill)
+            assert base_then > 400

@@ -1,0 +1,80 @@
+"""Unit tests for Table 1/2 metrics."""
+
+import pytest
+
+from repro.core.metrics import DropCause, DropEvent, QualityMetrics
+
+
+def event(buf_drop=0.0, buf_total=100.0, required=50.0,
+          cause=DropCause.RULE, drainable=-1.0, layer=2, time=1.0):
+    return DropEvent(time=time, layer=layer, buf_drop=buf_drop,
+                     buf_total=buf_total, required=required, cause=cause,
+                     drainable=drainable)
+
+
+class TestDropEvent:
+    def test_efficiency_perfect_when_empty(self):
+        assert event(buf_drop=0.0, buf_total=100.0).efficiency == 1.0
+
+    def test_efficiency_zero_when_everything_wasted(self):
+        assert event(buf_drop=100.0, buf_total=100.0).efficiency == 0.0
+
+    def test_efficiency_with_no_buffering_at_all(self):
+        assert event(buf_drop=0.0, buf_total=0.0).efficiency == 1.0
+
+    def test_drainable_defaults_to_total(self):
+        e = event(buf_total=100.0)
+        assert e.drainable == 100.0
+
+    def test_poor_distribution_when_usable_sufficient(self):
+        assert event(required=50.0, drainable=60.0).poor_distribution
+
+    def test_not_poor_when_insufficient(self):
+        assert not event(required=50.0, drainable=40.0).poor_distribution
+
+
+class TestQualityMetrics:
+    def test_empty_metrics_report_none(self):
+        m = QualityMetrics()
+        assert m.buffering_efficiency() is None
+        assert m.poor_distribution_percent() is None
+
+    def test_efficiency_mean(self):
+        m = QualityMetrics()
+        m.record_drop(event(buf_drop=0.0, buf_total=100.0))
+        m.record_drop(event(buf_drop=50.0, buf_total=100.0))
+        assert m.buffering_efficiency() == pytest.approx(0.75)
+
+    def test_poor_percent(self):
+        m = QualityMetrics()
+        m.record_drop(event(required=50.0, drainable=60.0))
+        m.record_drop(event(required=50.0, drainable=40.0))
+        m.record_drop(event(required=50.0, drainable=30.0))
+        assert m.poor_distribution_percent() == pytest.approx(100 / 3)
+
+    def test_quality_changes_counts_adds_and_drops(self):
+        m = QualityMetrics()
+        m.record_add(1.0, 1)
+        m.record_add(2.0, 2)
+        m.record_drop(event())
+        assert m.quality_changes == 3
+
+    def test_stall_accumulation(self):
+        m = QualityMetrics()
+        m.record_stall(0.5)
+        m.record_stall(0.25)
+        assert m.stall_count == 2
+        assert m.stall_time == pytest.approx(0.75)
+
+    def test_summary_keys(self):
+        m = QualityMetrics()
+        summary = m.summary()
+        for key in ("drops", "adds", "quality_changes",
+                    "efficiency_percent", "poor_distribution_percent",
+                    "stall_count", "stall_time", "startup_latency"):
+            assert key in summary
+
+    def test_summary_scales_percentages(self):
+        m = QualityMetrics()
+        m.record_drop(event(buf_drop=10.0, buf_total=100.0))
+        assert m.summary()["efficiency_percent"] == pytest.approx(90.0)

@@ -1,0 +1,33 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_build_experiment_returns_runnable(self):
+        experiment = repro.build_experiment(duration=3.0, seed=1)
+        result = experiment.run()
+        assert "mean_rate" in result.summary()
+
+    def test_core_reexports(self):
+        assert repro.QAConfig is not None
+        assert repro.StateSequence is not None
+        assert repro.StreamingSession is not None
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.sim
+        import repro.transport
+
+        for module in (repro.analysis, repro.baselines, repro.sim,
+                       repro.transport):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,130 @@
+"""System-level property tests: invariants under random environments.
+
+These drive the *whole* adaptation mechanism (via the fluid model and a
+stateful buffer machine) with hypothesis-generated scenarios and assert
+the invariants that must hold for any input -- the strongest form of the
+paper's "no assumptions about loss patterns" claim this repo can check.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.buffers import LayerBufferSet
+from repro.core.config import QAConfig
+from repro.core.fluid import FluidRun, ScriptedAimd
+
+
+class TestFluidInvariants:
+    @given(
+        backoffs=st.lists(
+            st.floats(min_value=2.0, max_value=28.0),
+            max_size=6, unique=True),
+        slope=st.floats(min_value=500, max_value=4_000),
+        k_max=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_backoff_scripts(self, backoffs, slope, k_max):
+        """For ANY backoff pattern: the base layer survives, layer
+        counts stay within bounds, buffers never go negative, and the
+        oracle receiver never stalls."""
+        config = QAConfig(layer_rate=3_000.0, max_layers=4, k_max=k_max,
+                          packet_size=150, startup_delay=0.5)
+        bandwidth = ScriptedAimd(
+            initial_rate=4_000.0, slope=slope,
+            backoff_times=sorted(backoffs),
+            max_rate=14_000.0)
+        result = FluidRun(config, bandwidth, duration=30.0).run()
+        adapter = result.adapter
+        tracer = result.tracer
+
+        assert 1 <= adapter.active_layers <= 4
+        layers = tracer.get("layers")
+        assert layers.min() >= 1
+        assert layers.max() <= 4
+        for i in range(4):
+            assert tracer.get(f"buffer_L{i}").min() >= 0.0
+        assert adapter.metrics.stall_count == 0
+        # Accounting: delivered never less than consumed per layer.
+        for i in range(adapter.active_layers):
+            assert adapter.buffers.delivered(i) >= \
+                adapter.buffers.consumed(i) - 1e-6
+        # Every drop event is well formed.
+        for event in adapter.metrics.drops:
+            assert event.buf_drop <= event.buf_total + 1e-6
+            assert 0.0 <= event.efficiency <= 1.0
+
+
+class BufferMachine(RuleBasedStateMachine):
+    """Stateful fuzz of LayerBufferSet: any operation order keeps the
+    accounting consistent."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffers = LayerBufferSet(layer_rate=1000.0, max_layers=4)
+        self.now = 0.0
+
+    @rule(layer=st.integers(0, 3))
+    def activate(self, layer):
+        if not self.buffers.is_active(layer):
+            self.buffers.activate(layer, self.now)
+
+    @rule(layer=st.integers(0, 3))
+    def start_consuming(self, layer):
+        if (self.buffers.is_active(layer)
+                and not self.buffers.is_consuming(layer)):
+            self.buffers.start_consuming(layer, self.now)
+
+    @rule(layer=st.integers(0, 3), nbytes=st.integers(0, 5000))
+    def deliver(self, layer, nbytes):
+        self.buffers.deliver(layer, nbytes)
+
+    @rule(layer=st.integers(0, 3), nbytes=st.integers(0, 5000))
+    def withdraw(self, layer, nbytes):
+        self.buffers.withdraw(layer, nbytes)
+
+    @rule(dt=st.floats(min_value=0.0, max_value=2.0))
+    def advance(self, dt):
+        self.now += dt
+        self.buffers.consume_until(self.now)
+
+    @rule(dt=st.floats(min_value=0.0, max_value=2.0))
+    def pause(self, dt):
+        self.now += dt
+        self.buffers.pause(self.now)
+
+    @rule(layer=st.integers(0, 3))
+    def deactivate(self, layer):
+        if self.buffers.is_active(layer):
+            remaining = self.buffers.deactivate(layer)
+            assert remaining >= 0.0
+
+    @invariant()
+    def levels_never_negative(self):
+        for i in range(4):
+            assert self.buffers.level(i) >= 0.0
+
+    @invariant()
+    def inactive_layers_are_empty(self):
+        for i in range(4):
+            if not self.buffers.is_active(i):
+                assert self.buffers.level(i) == 0.0
+                assert not self.buffers.is_consuming(i)
+
+    @invariant()
+    def total_matches_sum(self):
+        assert self.buffers.total() == pytest.approx(
+            sum(self.buffers.level(i) for i in range(4)))
+
+
+TestBufferMachine = BufferMachine.TestCase
+TestBufferMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)

@@ -1,0 +1,77 @@
+"""Tests for selective base-layer retransmission (section 1.3)."""
+
+import pytest
+
+from repro.core.config import QAConfig
+from repro.core.metrics import DropCause
+
+from tests.core.test_adapter import Harness
+
+
+def make_harness(retransmit_layers=1, **overrides):
+    params = dict(layer_rate=5_000.0, max_layers=4, k_max=2,
+                  packet_size=500, startup_delay=0.5,
+                  retransmit_layers=retransmit_layers)
+    params.update(overrides)
+    return Harness(QAConfig(**params))
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert QAConfig().retransmit_layers == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            QAConfig(retransmit_layers=-1)
+
+
+class TestRetransmission:
+    def test_lost_base_packet_is_resent_first(self):
+        h = make_harness()
+        h.send_packets(4)
+        h.adapter.on_lost(0, 500)
+        layers = h.send_packets(1)
+        assert layers == [0]
+        assert h.adapter.retransmitted_bytes == 500
+
+    def test_debt_accumulates_across_losses(self):
+        h = make_harness()
+        h.send_packets(6)
+        for _ in range(3):
+            h.adapter.on_lost(0, 500)
+        layers = h.send_packets(3)
+        assert layers == [0, 0, 0]
+        assert h.adapter.retransmitted_bytes == 1500
+
+    def test_unprotected_layer_losses_not_resent(self):
+        h = make_harness(retransmit_layers=1)
+        h.drive(5.0)  # grow to several layers
+        assert h.adapter.active_layers >= 2
+        before = h.adapter.retransmitted_bytes
+        h.adapter.on_lost(1, 500)
+        h.send_packets(1)
+        assert h.adapter.retransmitted_bytes == before
+
+    def test_disabled_means_no_retransmissions(self):
+        h = make_harness(retransmit_layers=0)
+        h.send_packets(4)
+        h.adapter.on_lost(0, 500)
+        h.send_packets(5)
+        assert h.adapter.retransmitted_bytes == 0
+
+    def test_sub_packet_debt_waits(self):
+        h = make_harness()
+        h.send_packets(2)
+        h.adapter.on_lost(0, 200)  # less than a packet
+        layers_before = h.adapter.retransmitted_bytes
+        h.send_packets(1)
+        assert h.adapter.retransmitted_bytes == layers_before
+
+    def test_drop_clears_protected_debt(self):
+        h = make_harness(retransmit_layers=4)
+        h.drive(5.0)
+        assert h.adapter.active_layers >= 2
+        top = h.adapter.active_layers - 1
+        h.adapter.on_lost(top, 500)
+        h.adapter._drop_top_layer(DropCause.RULE)
+        assert h.adapter._retransmit_debt[top] == 0.0

@@ -1,0 +1,22 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_kbps_to_bytes():
+    assert units.kbps_to_bytes(800) == pytest.approx(100_000.0)
+
+
+def test_kBps_to_bytes():
+    assert units.kBps_to_bytes(10) == pytest.approx(10_000.0)
+
+
+def test_bytes_to_kBps_roundtrip():
+    assert units.bytes_to_kBps(units.kBps_to_bytes(12.5)) == \
+        pytest.approx(12.5)
+
+
+def test_ms():
+    assert units.ms(40) == pytest.approx(0.04)

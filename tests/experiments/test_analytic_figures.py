@@ -1,0 +1,135 @@
+"""Shape tests for the analytic figures (3, 4, 7, 8, 9, 10, 14)."""
+
+import math
+
+import pytest
+
+from repro.core import formulas
+from repro.experiments import (
+    fig03_phase_geometry,
+    fig04_optimal_alloc,
+    fig07_double_backoff,
+    fig08_buffer_states,
+    fig09_state_order,
+    fig10_filling_steps,
+    fig14_scenario2_geometry,
+)
+
+
+class TestFig03:
+    def test_areas_match_formulas(self):
+        r = fig03_phase_geometry.run()
+        assert r.draining_deficit_area == pytest.approx(
+            formulas.one_backoff_requirement(
+                r.rate, r.consumption, r.slope))
+
+    def test_durations_positive(self):
+        r = fig03_phase_geometry.run()
+        assert r.filling_duration > 0
+        assert r.draining_duration > 0
+
+    def test_renders(self):
+        assert "triangle" in fig03_phase_geometry.run().render()
+
+
+class TestFig04:
+    def test_shares_sum_to_triangle(self):
+        r = fig04_optimal_alloc.run()
+        assert math.fsum(r.shares) == pytest.approx(r.total)
+
+    def test_base_layer_largest(self):
+        r = fig04_optimal_alloc.run()
+        nonzero = [s for s in r.shares if s > 0]
+        assert nonzero == sorted(nonzero, reverse=True)
+
+    def test_nb_counts_nonzero_shares(self):
+        r = fig04_optimal_alloc.run()
+        assert r.buffering_layers == sum(1 for s in r.shares if s > 0)
+
+    def test_renders(self):
+        assert "L0" in fig04_optimal_alloc.run().render()
+
+
+class TestFig07:
+    def test_extremes_match_closed_forms(self):
+        r = fig07_double_backoff.run()
+        s1 = formulas.scenario_total(r.rate, r.consumption, r.slope, 2,
+                                     formulas.SCENARIO_ONE)
+        s2 = formulas.scenario_total(r.rate, r.consumption, r.slope, 2,
+                                     formulas.SCENARIO_TWO)
+        assert r.rows[0][1] == pytest.approx(s1, rel=0.02)
+        assert r.rows[-1][1] == pytest.approx(s2, rel=0.02)
+
+    def test_intermediate_scenarios_bracketed(self):
+        r = fig07_double_backoff.run()
+        totals = [total for _, total in r.rows]
+        lo, hi = min(totals[0], totals[-1]), max(totals[0], totals[-1])
+        for total in totals[1:-1]:
+            assert lo - 1 <= total <= hi + 1
+
+    def test_renders(self):
+        assert "scenario" in fig07_double_backoff.run().render()
+
+
+class TestFig08:
+    def test_row_count(self):
+        r = fig08_buffer_states.run(k_max=5)
+        assert len(r.rows()) == 10  # 5 k values x 2 scenarios
+
+    def test_scenario1_uses_more_layers_at_high_k(self):
+        r = fig08_buffer_states.run(k_max=5)
+        rows = {(row[0], row[1]): row[3:] for row in r.rows()}
+        s1_layers = sum(1 for v in rows[("S1", 5)] if v > 0)
+        s2_layers = sum(1 for v in rows[("S2", 5)] if v > 0)
+        assert s1_layers >= s2_layers
+
+    def test_renders(self):
+        assert "S1" in fig08_buffer_states.run().render()
+
+
+class TestFig09:
+    def test_totals_ascending(self):
+        r = fig09_state_order.run()
+        totals = [row[1] for row in r.rows()]
+        assert totals == sorted(totals)
+
+    def test_some_raw_dips_exist(self):
+        """The motivation for Figure 10: the raw ordering would require
+        draining some layer at some step."""
+        r = fig09_state_order.run()
+        assert any(row[-1] for row in r.rows())
+
+
+class TestFig10:
+    def test_effective_totals_ascending(self):
+        r = fig10_filling_steps.run()
+        totals = [row[2] for row in r.rows()]
+        assert totals == sorted(totals)
+
+    def test_per_layer_monotone(self):
+        r = fig10_filling_steps.run()
+        previous = None
+        for row in r.rows():
+            shares = row[3:-1]
+            if previous is not None:
+                for a, b in zip(previous, shares):
+                    assert b >= a
+            previous = shares
+
+
+class TestFig14:
+    def test_decomposition_matches_closed_form(self):
+        r = fig14_scenario2_geometry.run()
+        text = r.render()
+        assert "closed_form_total" in text
+
+    def test_component_sum(self):
+        r = fig14_scenario2_geometry.run(k=4)
+        k1 = formulas.k1_backoffs(r.rate, r.consumption)
+        first = formulas.triangle_area(
+            formulas.deficit_after_backoffs(r.rate, r.consumption, k1),
+            r.slope)
+        seq = formulas.triangle_area(r.consumption / 2, r.slope)
+        total = formulas.scenario_total(r.rate, r.consumption, r.slope,
+                                        4, formulas.SCENARIO_TWO)
+        assert first + (4 - k1) * seq == pytest.approx(total)

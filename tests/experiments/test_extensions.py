@@ -1,0 +1,68 @@
+"""Shape tests for the section-7 extension ablations."""
+
+import math
+
+import pytest
+
+from repro.core import formulas
+from repro.experiments import ablation_nonlinear, ablation_transport
+
+
+class TestNonlinearAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_nonlinear.run()
+
+    def test_totals_identical_across_spacings(self, result):
+        rows = result.rows()
+        by_key = {(r[0], r[1]): r[2] for r in rows}
+        for k in (1, 2):
+            assert by_key[("linear", k)] == by_key[("geometric", k)]
+
+    def test_fat_base_needs_fewer_buffering_layers(self, result):
+        rows = result.rows()
+        by_key = {(r[0], r[1]): r[3] for r in rows}
+        for k in (1, 2):
+            assert by_key[("geometric", k)] <= by_key[("linear", k)]
+
+    def test_geometric_concentrates_in_base(self, result):
+        rows = {(r[0], r[1]): r[4:] for r in result.rows()}
+        lin = rows[("linear", 2)]
+        geo = rows[("geometric", 2)]
+        assert geo[0] > lin[0]
+
+    def test_drop_rule_cuts_deeper_on_thin_ladders(self, result):
+        rows = result.drop_rule_rows()
+        kept = {}
+        for spacing, post_rate, layers in rows:
+            kept.setdefault(spacing, []).append(layers)
+        for lin_kept, geo_kept in zip(kept["linear"], kept["geometric"]):
+            assert geo_kept <= lin_kept
+
+    def test_renders(self, result):
+        assert "geometric" in result.render()
+
+
+class TestTransportAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_transport.run(seeds=(1,), duration=30.0)
+
+    def test_both_transports_run(self, result):
+        assert {r.transport for r in result.rows} == {"rap",
+                                                      "window-aimd"}
+
+    def test_adapter_streams_over_both(self, result):
+        for row in result.rows:
+            assert row.mean_rate > 5_000
+            assert row.mean_layers >= 1.0
+            assert row.adds > 0
+
+    def test_rap_is_the_smoother_ride(self, result):
+        """Rate-based pacing (RAP) was chosen by the paper for a reason:
+        it should not stall more than the bursty window transport."""
+        by = {r.transport: r for r in result.rows}
+        assert by["rap"].stall_time <= by["window-aimd"].stall_time + 0.5
+
+    def test_renders(self, result):
+        assert "transport" in result.render()

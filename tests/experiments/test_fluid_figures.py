@@ -1,0 +1,92 @@
+"""Shape tests for the fluid-model figures (2, 5, 6)."""
+
+import pytest
+
+from repro.experiments import (
+    fig02_overview,
+    fig05_fill_drain,
+    fig06_smoothing_phases,
+)
+
+
+@pytest.fixture(scope="module")
+def fig02():
+    return fig02_overview.run()
+
+
+@pytest.fixture(scope="module")
+def fig05():
+    return fig05_fill_drain.run()
+
+
+@pytest.fixture(scope="module")
+def fig06():
+    return fig06_smoothing_phases.run()
+
+
+class TestFig02:
+    def test_both_layers_stream(self, fig02):
+        t = fig02.tracer
+        assert t.get("layers").final() == 2
+        assert t.get("buffer_L0").max() > 0
+
+    def test_base_buffered_more_than_enhancement(self, fig02):
+        t = fig02.tracer
+        assert t.get("buffer_L0").max() > t.get("buffer_L1").max()
+
+    def test_backoffs_cause_draining(self, fig02):
+        t = fig02.tracer
+        total = t.get("total_buffer")
+        for backoff in fig02.backoff_times:
+            before = total.value_at(backoff - 0.05)
+            after_min = min(total.window(backoff,
+                                         backoff + 3.0).values)
+            assert after_min < before
+
+    def test_renders(self, fig02):
+        assert "Figure 2" in fig02.render()
+
+
+class TestFig05:
+    def test_layers_join_sequentially(self, fig05):
+        t = fig05.fluid.tracer
+        layers = t.get("layers")
+        assert layers.values[0] <= 2
+        assert layers.max() == fig05.layers
+
+    def test_base_heavy_distribution(self, fig05):
+        t = fig05.fluid.tracer
+        means = [t.get(f"buffer_L{i}").mean() for i in range(3)]
+        assert means[0] >= means[1] >= means[2]
+
+    def test_backoff_drains_buffers(self, fig05):
+        t = fig05.fluid.tracer
+        total = t.get("total_buffer")
+        before = total.value_at(27.9)
+        trough = min(total.window(28.0, 34.0).values)
+        assert trough < before
+
+    def test_renders(self, fig05):
+        assert "Figure 5" in fig05.render()
+
+
+class TestFig06:
+    def test_buffering_exceeds_one_backoff_requirement(self, fig06):
+        """The whole point of smoothing: before the second backoff the
+        receiver holds more than one backoff's worth of protection."""
+        text = fig06.render()
+        t = fig06.fluid.tracer
+        before = t.get("total_buffer").value_at(
+            fig06.second_backoff - 0.1)
+        assert before > 0
+        assert "smoothing_factor_k_max" in text
+
+    def test_two_filling_phases_visible(self, fig06):
+        """Total buffering dips after backoff 1 and climbs again."""
+        t = fig06.fluid.tracer
+        total = t.get("total_buffer")
+        first_peak = max(total.window(0, 18.0).values)
+        trough = min(total.window(18.0, 24.0).values)
+        later = max(total.window(24.0, fig06.second_backoff).values)
+        assert trough < first_peak
+        assert later > trough

@@ -1,0 +1,81 @@
+"""Unit tests for the layered stream model."""
+
+import pytest
+
+from repro.media.stream import LayeredStream
+
+
+@pytest.fixture
+def clip():
+    return LayeredStream(layer_rate=10_000.0, n_layers=4, duration=60.0)
+
+
+class TestValidation:
+    def test_rejects_bad_layer_rate(self):
+        with pytest.raises(ValueError):
+            LayeredStream(layer_rate=0.0, n_layers=1)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            LayeredStream(layer_rate=1000.0, n_layers=0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            LayeredStream(layer_rate=1000.0, n_layers=1, duration=0.0)
+
+
+class TestConsumption:
+    def test_consumption_rate_linear(self, clip):
+        assert clip.consumption_rate(3) == 30_000.0
+        assert clip.consumption_rate(0) == 0.0
+
+    def test_consumption_rate_bounds(self, clip):
+        with pytest.raises(ValueError):
+            clip.consumption_rate(5)
+        with pytest.raises(ValueError):
+            clip.consumption_rate(-1)
+
+
+class TestBytes:
+    def test_layer_bytes(self, clip):
+        assert clip.layer_bytes(0, 10.0) == 100_000.0
+
+    def test_layer_bytes_clamped_to_duration(self, clip):
+        assert clip.layer_bytes(0, 120.0) == clip.layer_bytes(0, 60.0)
+
+    def test_layer_bytes_validation(self, clip):
+        with pytest.raises(ValueError):
+            clip.layer_bytes(9, 1.0)
+        with pytest.raises(ValueError):
+            clip.layer_bytes(0, -1.0)
+
+    def test_total_bytes(self, clip):
+        assert clip.total_bytes() == 4 * 10_000 * 60
+        assert clip.total_bytes(layers=2) == 2 * 10_000 * 60
+
+    def test_total_bytes_unbounded_clip(self):
+        clip = LayeredStream(layer_rate=1000.0, n_layers=2)
+        assert clip.total_bytes() is None
+
+
+class TestDecoding:
+    def test_all_present(self, clip):
+        assert clip.decodable_layers([True] * 4) == 4
+
+    def test_gap_truncates(self, clip):
+        assert clip.decodable_layers([True, False, True, True]) == 1
+
+    def test_missing_base_means_nothing_decodable(self, clip):
+        assert clip.decodable_layers([False, True, True, True]) == 0
+
+    def test_short_vector(self, clip):
+        assert clip.decodable_layers([True, True]) == 2
+
+
+class TestPacketRate:
+    def test_packets_per_second(self, clip):
+        assert clip.packets_per_second(1000, 2) == 20.0
+
+    def test_rejects_bad_packet_size(self, clip):
+        with pytest.raises(ValueError):
+            clip.packets_per_second(0, 1)

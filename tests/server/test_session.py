@@ -1,0 +1,121 @@
+"""Integration tests: a full streaming session over the packet network."""
+
+import pytest
+
+from repro.core.config import QAConfig
+from repro.server.session import StreamingSession
+from repro.sim.engine import Simulator
+from repro.sim.topology import Dumbbell, DumbbellConfig
+from repro.transport import RapSink, RapSource
+
+
+@pytest.fixture
+def setup(sim):
+    """One QA session plus one background RAP flow on 60 KB/s."""
+    net = Dumbbell(sim, DumbbellConfig(
+        n_pairs=2, bottleneck_bandwidth=60_000,
+        queue_capacity_packets=30))
+    config = QAConfig(layer_rate=8_000.0, max_layers=4, k_max=2,
+                      packet_size=500)
+    session = StreamingSession(sim, *net.pair(0), config)
+    bg_src, bg_dst = net.pair(1)
+    bg = RapSource(sim, bg_src, bg_dst.name, packet_size=500)
+    RapSink(sim, bg_dst, bg_src.name, bg.flow_id)
+    return net, session
+
+
+class TestEndToEnd:
+    def test_session_streams_and_plays(self, sim, setup):
+        _, session = setup
+        sim.run(until=20.0)
+        result = session.result()
+        assert result.playout.played_bytes > 0
+        assert result.tracer.get("rate").mean() > 0
+
+    def test_layers_adapt_to_available_bandwidth(self, sim, setup):
+        _, session = setup
+        sim.run(until=30.0)
+        layers = session.tracer.get("layers")
+        # Fair share ~30 KB/s at C=8 KB/s: between 2 and 4 layers.
+        assert 1.5 < layers.window(10.0, 30.0).time_average() <= 4.0
+
+    def test_no_receiver_stalls(self, sim, setup):
+        _, session = setup
+        sim.run(until=30.0)
+        assert session.result().playout.stall_count == 0
+
+    def test_buffers_are_base_heavy(self, sim, setup):
+        _, session = setup
+        sim.run(until=30.0)
+        t = session.tracer
+        assert t.get("buffer_L0").mean() >= t.get("buffer_L2").mean()
+
+    def test_server_estimate_tracks_receiver(self, sim, setup):
+        _, session = setup
+        sim.run(until=20.0)
+        t = session.tracer
+        est = t.get("buffer_est_L0").mean()
+        actual = t.get("buffer_L0").mean()
+        # Send-time crediting leads by at most in-flight + loss lag.
+        assert est == pytest.approx(actual, rel=0.5, abs=4000)
+
+    def test_consumption_stays_at_or_below_rate_on_average(
+            self, sim, setup):
+        _, session = setup
+        sim.run(until=30.0)
+        t = session.tracer
+        # Long-run: you cannot consume more than you receive.
+        assert (t.get("consumption").time_average()
+                <= t.get("rate").time_average() * 1.25)
+
+    def test_result_summary_fields(self, sim, setup):
+        _, session = setup
+        sim.run(until=10.0)
+        summary = session.result().summary()
+        for key in ("drops", "adds", "mean_layers", "mean_rate",
+                    "stalls_receiver", "gap_bytes"):
+            assert key in summary
+
+    def test_stop_halts_traffic(self, sim, setup):
+        _, session = setup
+        sim.run(until=5.0)
+        session.stop()
+        sent = session.server.rap.stats.packets_sent
+        sim.run(until=8.0)
+        assert session.server.rap.stats.packets_sent == sent
+
+    def test_send_rates_sum_to_total_rate(self, sim, setup):
+        _, session = setup
+        sim.run(until=20.0)
+        t = session.tracer
+        per_layer = sum(t.get(f"send_rate_L{i}").time_average()
+                        for i in range(4))
+        total = t.get("rate").time_average()
+        assert per_layer == pytest.approx(total, rel=0.25)
+
+    def test_events_logged(self, sim, setup):
+        _, session = setup
+        sim.run(until=30.0)
+        kinds = {kind for _, kind, _ in session.tracer.events}
+        assert "playout_start" in kinds
+        assert "add" in kinds
+
+
+class TestAgainstTcp:
+    def test_qa_flow_coexists_with_tcp(self, sim):
+        from repro.transport import TcpSink, TcpSource
+        net = Dumbbell(sim, DumbbellConfig(
+            n_pairs=2, bottleneck_bandwidth=60_000,
+            queue_capacity_packets=30))
+        config = QAConfig(layer_rate=8_000.0, max_layers=4, k_max=2,
+                          packet_size=500)
+        session = StreamingSession(sim, *net.pair(0), config)
+        tcp_src, tcp_dst = net.pair(1)
+        tcp = TcpSource(sim, tcp_src, tcp_dst.name)
+        tcp_sink = TcpSink(sim, tcp_dst, tcp_src.name, tcp.flow_id)
+        sim.run(until=30.0)
+        qa_rate = session.tracer.get("rate").time_average()
+        tcp_rate = tcp_sink.stats.bytes_received / 30.0
+        # Neither starves (TCP-friendliness in the broad sense).
+        assert qa_rate > 5_000
+        assert tcp_rate > 5_000

@@ -1,0 +1,86 @@
+"""Unit tests for VideoServer and VideoClient wiring."""
+
+import pathlib
+
+import pytest
+
+from repro.core.config import QAConfig
+from repro.media.stream import LayeredStream
+from repro.server.client import VideoClient
+from repro.server.server import VideoServer
+from repro.sim.topology import Dumbbell, DumbbellConfig
+
+
+@pytest.fixture
+def net(sim):
+    return Dumbbell(sim, DumbbellConfig(
+        n_pairs=1, bottleneck_bandwidth=60_000,
+        queue_capacity_packets=30))
+
+
+class TestVideoServer:
+    def test_stream_with_fewer_layers_clamps_config(self, sim, net):
+        config = QAConfig(layer_rate=5_000.0, max_layers=8)
+        stream = LayeredStream(layer_rate=5_000.0, n_layers=3)
+        server = VideoServer(sim, net.pair(0)[0], "dst0", config,
+                             stream=stream)
+        assert server.config.max_layers == 3
+        assert server.adapter.config.max_layers == 3
+
+    def test_default_stream_matches_config(self, sim, net):
+        config = QAConfig(layer_rate=5_000.0, max_layers=4)
+        server = VideoServer(sim, net.pair(0)[0], "dst0", config)
+        assert server.stream.n_layers == 4
+        assert server.stream.layer_rate == 5_000.0
+
+    def test_flow_id_exposed(self, sim, net):
+        config = QAConfig(layer_rate=5_000.0)
+        server = VideoServer(sim, net.pair(0)[0], "dst0", config)
+        assert server.flow_id == server.rap.flow_id
+
+    def test_active_layers_passthrough(self, sim, net):
+        config = QAConfig(layer_rate=5_000.0)
+        server = VideoServer(sim, net.pair(0)[0], "dst0", config)
+        assert server.active_layers == server.adapter.active_layers == 1
+
+    def test_stop_halts_everything(self, sim, net):
+        src, dst = net.pair(0)
+        config = QAConfig(layer_rate=5_000.0, max_layers=2)
+        server = VideoServer(sim, src, dst.name, config)
+        client = VideoClient(sim, dst, src.name, server.flow_id, config)
+        sim.run(until=3.0)
+        server.stop()
+        sent = server.rap.stats.packets_sent
+        sim.run(until=6.0)
+        assert server.rap.stats.packets_sent == sent
+
+
+class TestVideoClient:
+    def test_packets_feed_playout(self, sim, net):
+        src, dst = net.pair(0)
+        config = QAConfig(layer_rate=5_000.0, max_layers=2,
+                          startup_delay=0.5)
+        server = VideoServer(sim, src, dst.name, config)
+        client = VideoClient(sim, dst, src.name, server.flow_id, config)
+        sim.run(until=5.0)
+        assert client.playout.buffers.delivered(0) > 0
+        assert client.stats.played_bytes > 0
+
+    def test_stats_property(self, sim, net):
+        src, dst = net.pair(0)
+        config = QAConfig(layer_rate=5_000.0)
+        server = VideoServer(sim, src, dst.name, config)
+        client = VideoClient(sim, dst, src.name, server.flow_id, config)
+        assert client.stats is client.playout.stats
+
+
+class TestExamplesAreRunnable:
+    def test_examples_compile(self):
+        root = pathlib.Path(__file__).resolve().parents[2] / "examples"
+        scripts = sorted(root.glob("*.py"))
+        assert len(scripts) >= 4
+        for script in scripts:
+            source = script.read_text()
+            compile(source, str(script), "exec")
+            assert 'def main()' in source
+            assert '__main__' in source

@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_runs_callback(self, sim):
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [1.0]
+
+    def test_schedule_at_absolute_time(self, sim):
+        hits = []
+        sim.schedule_at(2.5, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [2.5]
+
+    def test_zero_delay_allowed(self, sim):
+        hits = []
+        sim.schedule(0.0, lambda: hits.append(True))
+        sim.run()
+        assert hits == [True]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_ordered_by_time(self, sim):
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_priority_beats_insertion_order(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=1)
+        sim.schedule(1.0, lambda: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_callback_can_schedule_more_events(self, sim):
+        hits = []
+
+        def chain():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+
+class TestRun:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_is_inclusive(self, sim):
+        hits = []
+        sim.schedule(5.0, lambda: hits.append(True))
+        sim.run(until=5.0)
+        assert hits == [True]
+
+    def test_events_beyond_until_stay_pending(self, sim):
+        hits = []
+        sim.schedule(10.0, lambda: hits.append(True))
+        sim.run(until=5.0)
+        assert hits == []
+        sim.run(until=15.0)
+        assert hits == [True]
+
+    def test_run_without_until_drains_heap(self, sim):
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: hits.append(True))
+        sim.run()
+        assert len(hits) == 3
+        assert sim.now == 3.0
+
+    def test_clock_advances_to_until_even_if_idle(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_guard(self, sim):
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.1, forever)
+        with pytest.raises(SimulationError):
+            sim.run(until=1e9, max_events=100)
+
+    def test_stop_halts_run(self, sim):
+        hits = []
+        sim.schedule(1.0, lambda: (hits.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: hits.append(2))
+        sim.run()
+        assert hits == [1, sim.stop()] or hits[0] == 1
+        assert len([h for h in hits if h == 2]) == 0
+
+    def test_events_processed_counter(self, sim):
+        for t in (1.0, 2.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self, sim):
+        hits = []
+        event = sim.schedule(1.0, lambda: hits.append(True))
+        event.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_peek_skips_cancelled(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_empty_returns_none(self, sim):
+        assert sim.peek_time() is None
+
+
+class TestStep:
+    def test_step_runs_one_event(self, sim):
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(2.0, lambda: hits.append(2))
+        assert sim.step() is True
+        assert hits == [1]
+
+    def test_step_on_empty_heap(self, sim):
+        assert sim.step() is False

@@ -1,0 +1,101 @@
+"""Unit tests for the link model (serialization + propagation)."""
+
+import pytest
+
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+
+def make_packet(seq=0, size=1000):
+    return Packet(flow_id=1, seq=seq, size=size)
+
+
+@pytest.fixture
+def received():
+    return []
+
+
+@pytest.fixture
+def link(sim, received):
+    # 10_000 B/s, 50 ms propagation: a 1000 B packet takes 0.1 s to
+    # serialize and arrives at 0.15 s.
+    lk = Link(sim, bandwidth=10_000, delay=0.05, name="test")
+    lk.connect(lambda p: received.append((sim.now, p)))
+    return lk
+
+
+class TestValidation:
+    def test_rejects_zero_bandwidth(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth=0, delay=0.01)
+
+    def test_rejects_negative_delay(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth=1000, delay=-1)
+
+    def test_send_without_receiver_raises(self, sim):
+        lk = Link(sim, bandwidth=1000, delay=0.01)
+        with pytest.raises(RuntimeError):
+            lk.send(make_packet())
+
+
+class TestTiming:
+    def test_arrival_time_is_serialization_plus_propagation(
+            self, sim, link, received):
+        link.send(make_packet(size=1000))
+        sim.run()
+        assert received[0][0] == pytest.approx(0.1 + 0.05)
+
+    def test_arrival_scales_with_size(self, sim, link, received):
+        link.send(make_packet(size=500))
+        sim.run()
+        assert received[0][0] == pytest.approx(0.05 + 0.05)
+
+    def test_back_to_back_packets_serialize_sequentially(
+            self, sim, link, received):
+        link.send(make_packet(0))
+        link.send(make_packet(1))
+        sim.run()
+        times = [t for t, _ in received]
+        assert times[0] == pytest.approx(0.15)
+        assert times[1] == pytest.approx(0.25)  # waited for the first
+
+    def test_idle_gap_resets_pipeline(self, sim, link, received):
+        link.send(make_packet(0))
+        sim.schedule(1.0, lambda: link.send(make_packet(1)))
+        sim.run()
+        assert received[1][0] == pytest.approx(1.15)
+
+    def test_busy_flag(self, sim, link):
+        link.send(make_packet())
+        assert link.busy
+        sim.run()
+        assert not link.busy
+
+
+class TestQueueInteraction:
+    def test_overflow_drops_at_queue(self, sim, received):
+        lk = Link(sim, bandwidth=1000, delay=0.0,
+                  queue=DropTailQueue(capacity_packets=1), name="small")
+        lk.connect(lambda p: received.append(p))
+        assert lk.send(make_packet(0))  # starts transmitting immediately
+        assert lk.send(make_packet(1))  # queued
+        assert not lk.send(make_packet(2))  # queue full -> dropped
+        sim.run()
+        assert len(received) == 2
+        assert lk.queue.drops == 1
+
+    def test_ordering_preserved(self, sim, link, received):
+        for i in range(5):
+            link.send(make_packet(i))
+        sim.run()
+        assert [p.seq for _, p in received] == list(range(5))
+
+    def test_forwarded_counters(self, sim, link):
+        link.send(make_packet(size=700))
+        link.send(make_packet(size=300))
+        sim.run()
+        assert link.packets_forwarded == 2
+        assert link.bytes_forwarded == 1000
+        assert link.utilization_bytes() == 1000

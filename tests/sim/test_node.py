@@ -1,0 +1,106 @@
+"""Unit tests for hosts and routers."""
+
+import pytest
+
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.packet import Packet
+
+
+def wire(sim, src, dst):
+    """Connect src -> dst with a fast link; returns the link."""
+    link = Link(sim, bandwidth=1e6, delay=0.001)
+    link.connect(dst.receive)
+    src.set_default_route(link)
+    return link
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+class TestRouting:
+    def test_forward_uses_specific_route(self, sim):
+        router = Router(sim, "r")
+        a, b = Host(sim, "a"), Host(sim, "b")
+        link_a = Link(sim, 1e6, 0.0)
+        link_a.connect(a.receive)
+        link_b = Link(sim, 1e6, 0.0)
+        link_b.connect(b.receive)
+        router.add_route("a", link_a)
+        router.add_route("b", link_b)
+        handler = Collector()
+        b.attach(7, handler)
+        router.receive(Packet(flow_id=7, seq=0, size=100, dst="b"))
+        sim.run()
+        assert len(handler.packets) == 1
+
+    def test_default_route_fallback(self, sim):
+        router = Router(sim, "r")
+        b = Host(sim, "b")
+        link = wire(sim, router, b)
+        router.set_default_route(link)
+        handler = Collector()
+        b.attach(1, handler)
+        router.receive(Packet(flow_id=1, seq=0, size=100, dst="b"))
+        sim.run()
+        assert len(handler.packets) == 1
+
+    def test_unroutable_raises(self, sim):
+        router = Router(sim, "r")
+        with pytest.raises(RuntimeError):
+            router.forward(Packet(flow_id=1, seq=0, size=10, dst="nowhere"))
+
+
+class TestHost:
+    def test_demultiplex_by_flow_id(self, sim):
+        host = Host(sim, "h")
+        h1, h2 = Collector(), Collector()
+        host.attach(1, h1)
+        host.attach(2, h2)
+        host.receive(Packet(flow_id=1, seq=0, size=10, dst="h"))
+        host.receive(Packet(flow_id=2, seq=0, size=10, dst="h"))
+        host.receive(Packet(flow_id=2, seq=1, size=10, dst="h"))
+        assert len(h1.packets) == 1
+        assert len(h2.packets) == 2
+
+    def test_duplicate_attach_rejected(self, sim):
+        host = Host(sim, "h")
+        host.attach(1, Collector())
+        with pytest.raises(ValueError):
+            host.attach(1, Collector())
+
+    def test_detach_allows_reattach(self, sim):
+        host = Host(sim, "h")
+        host.attach(1, Collector())
+        host.detach(1)
+        host.attach(1, Collector())
+
+    def test_stray_packets_counted(self, sim):
+        host = Host(sim, "h")
+        host.receive(Packet(flow_id=99, seq=0, size=10, dst="h"))
+        assert host.stray_packets == 1
+
+    def test_send_stamps_source(self, sim):
+        host = Host(sim, "h")
+        sink = Host(sim, "s")
+        wire(sim, host, sink)
+        collector = Collector()
+        sink.attach(3, collector)
+        host.send(Packet(flow_id=3, seq=0, size=10, dst="s"))
+        sim.run()
+        assert collector.packets[0].src == "h"
+
+    def test_packet_for_other_host_is_forwarded(self, sim):
+        host = Host(sim, "h")
+        other = Host(sim, "o")
+        wire(sim, host, other)
+        collector = Collector()
+        other.attach(1, collector)
+        host.receive(Packet(flow_id=1, seq=0, size=10, dst="o"))
+        sim.run()
+        assert len(collector.packets) == 1

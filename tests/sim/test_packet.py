@@ -1,0 +1,36 @@
+"""Unit tests for the packet model."""
+
+from repro.sim.packet import Packet, PacketType
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = Packet(flow_id=1, seq=0, size=1000)
+        assert p.is_data()
+        assert not p.is_ack()
+        assert p.layer is None
+
+    def test_ack_type(self):
+        p = Packet(flow_id=1, seq=0, size=40, ptype=PacketType.ACK)
+        assert p.is_ack()
+        assert not p.is_data()
+
+    def test_layer_meta(self):
+        p = Packet(flow_id=1, seq=0, size=1000, meta={"layer": 2})
+        assert p.layer == 2
+
+    def test_uids_are_unique_and_monotone(self):
+        a = Packet(flow_id=1, seq=0, size=1)
+        b = Packet(flow_id=1, seq=1, size=1)
+        assert b.uid > a.uid
+
+    def test_meta_not_shared_between_instances(self):
+        a = Packet(flow_id=1, seq=0, size=1)
+        a.meta["x"] = 1
+        b = Packet(flow_id=1, seq=1, size=1)
+        assert "x" not in b.meta
+
+    def test_repr_mentions_layer(self):
+        p = Packet(flow_id=1, seq=5, size=1000, meta={"layer": 3})
+        assert "L3" in repr(p)
+        assert "seq=5" in repr(p)

@@ -1,0 +1,119 @@
+"""Unit tests for drop-tail and RED queues."""
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, REDQueue
+from repro.sim.rng import SeededRNG
+
+
+def make_packet(seq=0, size=1000):
+    return Packet(flow_id=1, seq=seq, size=size)
+
+
+class TestDropTail:
+    def test_requires_a_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue()
+
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity_packets=10)
+        for i in range(3):
+            assert q.enqueue(make_packet(i))
+        assert [q.dequeue().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_dequeue_empty_returns_none(self):
+        q = DropTailQueue(capacity_packets=2)
+        assert q.dequeue() is None
+
+    def test_packet_capacity_enforced(self):
+        q = DropTailQueue(capacity_packets=2)
+        assert q.enqueue(make_packet(0))
+        assert q.enqueue(make_packet(1))
+        assert not q.enqueue(make_packet(2))
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_byte_capacity_enforced(self):
+        q = DropTailQueue(capacity_bytes=2500)
+        assert q.enqueue(make_packet(0))
+        assert q.enqueue(make_packet(1))
+        assert not q.enqueue(make_packet(2))  # 3000 > 2500
+        assert q.byte_length == 2000
+
+    def test_byte_length_tracks_dequeues(self):
+        q = DropTailQueue(capacity_packets=5)
+        q.enqueue(make_packet(0, size=700))
+        q.enqueue(make_packet(1, size=300))
+        q.dequeue()
+        assert q.byte_length == 300
+
+    def test_drop_callback_invoked(self):
+        dropped = []
+        q = DropTailQueue(capacity_packets=1, on_drop=dropped.append)
+        q.enqueue(make_packet(0))
+        q.enqueue(make_packet(1))
+        assert [p.seq for p in dropped] == [1]
+
+    def test_counters(self):
+        q = DropTailQueue(capacity_packets=1)
+        q.enqueue(make_packet(0))
+        q.enqueue(make_packet(1))
+        q.dequeue()
+        assert (q.enqueues, q.dequeues, q.drops) == (1, 1, 1)
+
+    def test_space_freed_after_dequeue(self):
+        q = DropTailQueue(capacity_packets=1)
+        q.enqueue(make_packet(0))
+        q.dequeue()
+        assert q.enqueue(make_packet(1))
+
+    def test_clear(self):
+        q = DropTailQueue(capacity_packets=5)
+        q.enqueue(make_packet(0))
+        q.clear()
+        assert len(q) == 0
+        assert q.byte_length == 0
+
+
+class TestRed:
+    def make(self, **kwargs):
+        defaults = dict(capacity_packets=50, min_thresh=5, max_thresh=15,
+                        rng=SeededRNG(42))
+        defaults.update(kwargs)
+        return REDQueue(**defaults)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            self.make(min_thresh=10, max_thresh=5)
+
+    def test_max_prob_validation(self):
+        with pytest.raises(ValueError):
+            self.make(max_prob=0.0)
+
+    def test_no_early_drops_below_min_threshold(self):
+        q = self.make()
+        for i in range(5):
+            assert q.enqueue(make_packet(i))
+        assert q.drops == 0
+
+    def test_drops_appear_under_sustained_load(self):
+        q = self.make(weight=0.5)
+        for i in range(400):
+            q.enqueue(make_packet(i))
+            if i % 3 == 0:
+                q.dequeue()
+        assert q.drops > 0
+
+    def test_average_tracks_occupancy(self):
+        q = self.make(weight=0.5)
+        for i in range(20):
+            q.enqueue(make_packet(i))
+        assert q.average_queue > 0
+
+    def test_full_queue_still_drops(self):
+        q = self.make(capacity_packets=3, min_thresh=1, max_thresh=2,
+                      weight=1.0)
+        accepted = sum(q.enqueue(make_packet(i)) for i in range(50))
+        assert accepted <= 3 + q.drops  # sanity: nothing disappears
+        assert q.drops >= 47

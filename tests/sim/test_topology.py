@@ -1,0 +1,101 @@
+"""Unit tests for the dumbbell topology."""
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.topology import Dumbbell, DumbbellConfig
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+class TestConstruction:
+    def test_rejects_zero_pairs(self, sim):
+        with pytest.raises(ValueError):
+            Dumbbell(sim, DumbbellConfig(n_pairs=0))
+
+    def test_builds_requested_pairs(self, sim):
+        net = Dumbbell(sim, DumbbellConfig(n_pairs=3))
+        assert len(net.sources) == 3
+        assert len(net.sinks) == 3
+
+    def test_pair_accessor(self, sim):
+        net = Dumbbell(sim, DumbbellConfig(n_pairs=2))
+        src, dst = net.pair(1)
+        assert src.name == "src1"
+        assert dst.name == "dst1"
+
+    def test_base_rtt(self, sim):
+        cfg = DumbbellConfig(access_delay=0.005, bottleneck_delay=0.010)
+        net = Dumbbell(sim, cfg)
+        assert net.base_rtt == pytest.approx(0.04)
+
+
+class TestForwardPath:
+    def test_data_reaches_the_right_sink(self, sim, dumbbell):
+        c0, c1 = Collector(), Collector()
+        dumbbell.sinks[0].attach(1, c0)
+        dumbbell.sinks[1].attach(2, c1)
+        dumbbell.sources[0].send(
+            Packet(flow_id=1, seq=0, size=500, dst="dst0"))
+        dumbbell.sources[1].send(
+            Packet(flow_id=2, seq=0, size=500, dst="dst1"))
+        sim.run()
+        assert len(c0.packets) == 1
+        assert len(c1.packets) == 1
+
+    def test_reverse_path_works(self, sim, dumbbell):
+        collector = Collector()
+        dumbbell.sources[0].attach(1, collector)
+        dumbbell.sinks[0].send(
+            Packet(flow_id=1, seq=0, size=40, dst="src0"))
+        sim.run()
+        assert len(collector.packets) == 1
+
+    def test_one_way_latency_matches_config(self, sim, dumbbell):
+        arrivals = []
+
+        class Stamp:
+            def receive(self, packet):
+                arrivals.append(sim.now)
+
+        dumbbell.sinks[0].attach(1, Stamp())
+        dumbbell.sources[0].send(
+            Packet(flow_id=1, seq=0, size=500, dst="dst0"))
+        sim.run()
+        cfg = dumbbell.config
+        serialization = 500 / cfg.access_bandwidth * 2 \
+            + 500 / cfg.bottleneck_bandwidth
+        propagation = 2 * cfg.access_delay + cfg.bottleneck_delay
+        assert arrivals[0] == pytest.approx(serialization + propagation)
+
+    def test_bottleneck_drops_under_overload(self, sim):
+        net = Dumbbell(sim, DumbbellConfig(
+            n_pairs=1, bottleneck_bandwidth=10_000,
+            queue_capacity_packets=2))
+        net.sinks[0].attach(1, Collector())
+        for seq in range(50):
+            net.sources[0].send(
+                Packet(flow_id=1, seq=seq, size=1000, dst="dst0"))
+        sim.run()
+        assert net.bottleneck.queue.drops > 0
+
+    def test_cross_traffic_shares_bottleneck(self, sim, dumbbell):
+        c0, c1 = Collector(), Collector()
+        dumbbell.sinks[0].attach(1, c0)
+        dumbbell.sinks[1].attach(2, c1)
+        for seq in range(10):
+            dumbbell.sources[0].send(
+                Packet(flow_id=1, seq=seq, size=1000, dst="dst0"))
+            dumbbell.sources[1].send(
+                Packet(flow_id=2, seq=seq, size=1000, dst="dst1"))
+        sim.run()
+        # Everything fits (queue 20 >= 20 packets); both flows complete.
+        assert len(c0.packets) == 10
+        assert len(c1.packets) == 10
+        assert dumbbell.left.packets_received == 20

@@ -1,0 +1,145 @@
+"""Unit tests for time series, samplers and tracers."""
+
+import pytest
+
+from repro.sim.trace import PeriodicSampler, TimeSeries, Tracer
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_time_must_not_go_backwards(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(0.5, 2.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert ts.values == [1.0, 2.0]
+
+    def test_value_at_step_interpolation(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 10.0)
+        ts.record(2.0, 20.0)
+        assert ts.value_at(1.0) == 10.0
+        assert ts.value_at(2.0) == 20.0
+        assert ts.value_at(5.0) == 20.0
+
+    def test_value_at_before_first_sample(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 5.0)
+        assert ts.value_at(0.5, default=-1.0) == -1.0
+
+    def test_window(self):
+        ts = TimeSeries("x")
+        for t in range(5):
+            ts.record(float(t), float(t))
+        w = ts.window(1.0, 3.0)
+        assert w.times == [1.0, 2.0, 3.0]
+
+    def test_statistics(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 3.0), (2, 2.0)]:
+            ts.record(float(t), v)
+        assert ts.mean() == pytest.approx(2.0)
+        assert ts.max() == 3.0
+        assert ts.min() == 1.0
+        assert ts.final() == 2.0
+
+    def test_statistics_on_empty_series(self):
+        ts = TimeSeries("x")
+        assert ts.mean() == 0.0
+        assert ts.max() == 0.0
+        assert ts.final() == 0.0
+
+    def test_time_average_weights_by_duration(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 0.0)  # holds for 9 s
+        ts.record(9.0, 10.0)  # holds for 1 s
+        ts.record(10.0, 10.0)
+        assert ts.time_average() == pytest.approx(1.0)
+
+    def test_change_count(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 1.0), (2, 2.0), (3, 1.0)]:
+            ts.record(float(t), v)
+        assert ts.change_count() == 2
+
+    def test_change_count_with_tolerance(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 1.05), (2, 3.0)]:
+            ts.record(float(t), v)
+        assert ts.change_count(tolerance=0.1) == 1
+
+    def test_derivative(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 0.0)
+        ts.record(2.0, 10.0)
+        d = ts.derivative()
+        assert d.values == [pytest.approx(5.0)]
+
+
+class TestPeriodicSampler:
+    def test_fires_at_period(self, sim):
+        hits = []
+        PeriodicSampler(sim, 0.5, hits.append)
+        sim.run(until=2.0)
+        assert hits == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_start_offset(self, sim):
+        hits = []
+        PeriodicSampler(sim, 1.0, hits.append, start=0.25)
+        sim.run(until=2.0)
+        assert hits == [0.25, 1.25]
+
+    def test_stop(self, sim):
+        hits = []
+        sampler = PeriodicSampler(sim, 0.5, hits.append)
+        sim.schedule(1.1, sampler.stop)
+        sim.run(until=3.0)
+        assert hits == [0.0, 0.5, 1.0]
+
+    def test_rejects_nonpositive_period(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicSampler(sim, 0.0, lambda t: None)
+
+
+class TestTracer:
+    def test_get_creates_series(self):
+        tracer = Tracer()
+        ts = tracer.get("rate")
+        assert ts is tracer.get("rate")
+
+    def test_record_shortcut(self):
+        tracer = Tracer()
+        tracer.record("x", 1.0, 2.0)
+        assert tracer.get("x").values == [2.0]
+
+    def test_event_log(self):
+        tracer = Tracer()
+        tracer.log_event(1.0, "drop", layer=2)
+        tracer.log_event(2.0, "add", layer=2)
+        assert tracer.events_of("drop") == [(1.0, {"layer": 2})]
+
+    def test_to_csv_merges_series(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 1.0, 2.0)
+        csv_text = tracer.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "time,a,b"
+        assert len(lines) == 3  # header + two distinct times
+
+    def test_to_csv_selected_series(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 0.0, 2.0)
+        csv_text = tracer.to_csv(names=["b"])
+        assert csv_text.splitlines()[0] == "time,b"

@@ -1,0 +1,64 @@
+"""Unit tests for the CBR on/off source."""
+
+import pytest
+
+from repro.sim.topology import Dumbbell, DumbbellConfig
+from repro.transport.cbr import CbrSink, CbrSource
+
+
+class TestCbr:
+    def test_rate_is_respected(self, sim):
+        net = Dumbbell(sim, DumbbellConfig(
+            n_pairs=1, bottleneck_bandwidth=1_000_000))
+        src, dst = net.pair(0)
+        source = CbrSource(sim, src, dst.name, rate=10_000,
+                           packet_size=500)
+        sink = CbrSink(sim, dst, src.name, source.flow_id)
+        sim.run(until=10.0)
+        assert sink.stats.bytes_received / 10.0 == pytest.approx(
+            10_000, rel=0.05)
+
+    def test_start_stop_window(self, sim):
+        net = Dumbbell(sim, DumbbellConfig(
+            n_pairs=1, bottleneck_bandwidth=1_000_000))
+        src, dst = net.pair(0)
+        source = CbrSource(sim, src, dst.name, rate=10_000,
+                           start=2.0, stop=4.0)
+        sink = CbrSink(sim, dst, src.name, source.flow_id)
+        sim.run(until=1.9)
+        assert sink.stats.packets_received == 0
+        sim.run(until=10.0)
+        received_by_10 = sink.stats.bytes_received
+        assert received_by_10 == pytest.approx(10_000 * 2.0, rel=0.1)
+
+    def test_rejects_nonpositive_rate(self, sim):
+        net = Dumbbell(sim, DumbbellConfig(n_pairs=1))
+        src, dst = net.pair(0)
+        with pytest.raises(ValueError):
+            CbrSource(sim, src, dst.name, rate=0)
+
+    def test_stop_method(self, sim):
+        net = Dumbbell(sim, DumbbellConfig(
+            n_pairs=1, bottleneck_bandwidth=1_000_000))
+        src, dst = net.pair(0)
+        source = CbrSource(sim, src, dst.name, rate=10_000)
+        CbrSink(sim, dst, src.name, source.flow_id)
+        sim.run(until=1.0)
+        source.stop()
+        sent = source.stats.packets_sent
+        sim.run(until=3.0)
+        assert source.stats.packets_sent == sent
+
+    def test_cbr_does_not_react_to_congestion(self, sim):
+        # Bottleneck far below the CBR rate: it keeps sending anyway.
+        net = Dumbbell(sim, DumbbellConfig(
+            n_pairs=1, bottleneck_bandwidth=5_000,
+            queue_capacity_packets=5))
+        src, dst = net.pair(0)
+        source = CbrSource(sim, src, dst.name, rate=50_000,
+                           packet_size=500)
+        CbrSink(sim, dst, src.name, source.flow_id)
+        sim.run(until=5.0)
+        assert source.stats.bytes_sent == pytest.approx(
+            50_000 * 5.0, rel=0.05)
+        assert net.bottleneck.queue.drops > 0
