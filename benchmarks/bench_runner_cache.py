@@ -1,0 +1,31 @@
+"""Benchmark the experiment runner: cold misses vs warm cache hits.
+
+The acceptance bar for the orchestration layer is that a warm
+`repro-experiments all` beats the cold serial baseline by >=5x; this
+benchmark tracks the same ratio on a cheap experiment subset so the
+trajectory stays visible without multi-minute table runs.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import run_experiments
+
+NAMES = ["fig01", "fig02", "fig03", "fig04", "fig05"]
+
+
+def test_cold_serial(benchmark, tmp_path):
+    records = run_once(
+        benchmark, run_experiments, NAMES,
+        cache=ResultCache(tmp_path / "cache"))
+    assert all(not r.cache_hit for r in records)
+
+
+def test_warm_cache(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_experiments(NAMES, cache=cache)
+    warm = run_once(benchmark, run_experiments, NAMES, cache=cache)
+    assert all(r.cache_hit for r in warm)
+    assert [r.text for r in warm] == [r.text for r in cold]

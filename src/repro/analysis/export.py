@@ -10,6 +10,7 @@ figures were gnuplot.
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
 from typing import Iterable, Optional, Sequence
 
@@ -54,6 +55,20 @@ def export_events_csv(tracer: Tracer, path) -> pathlib.Path:
         for time, kind, fields in tracer.events:
             flat = ";".join(f"{k}={v}" for k, v in sorted(fields.items()))
             writer.writerow([f"{time:.6f}", kind, flat])
+    return target
+
+
+def export_manifest(manifest: dict, path) -> pathlib.Path:
+    """Write a run manifest (see the experiment runner) as stable JSON.
+
+    Keys are sorted and the encoding is deterministic, so two manifests
+    describing identical runs are byte-identical files — diffable in the
+    same spirit as the rendered artifacts themselves.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                      + "\n")
     return target
 
 

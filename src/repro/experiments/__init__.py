@@ -1,10 +1,17 @@
 """Experiment harnesses: one module per paper table/figure.
 
-Every module exposes ``run(**overrides)`` returning a result object with
-a ``render()`` method (plain text: tables + ASCII charts), and the CLI
-(:mod:`repro.experiments.runner`, installed as ``repro-experiments``)
-dispatches on the experiment name. DESIGN.md section 4 maps each module
-to its figure/table; EXPERIMENTS.md records the measured outputs.
+Every module exposes ``run(**overrides)`` returning either a result
+object with a ``render()`` method, or a value handled by a module-level
+``render(result)`` function (plain text: tables + ASCII charts) — the
+protocol :func:`repro.experiments.runner.render_result` normalizes.
+
+The CLI (:mod:`repro.experiments.runner`, installed as
+``repro-experiments``) dispatches on the experiment name, schedules
+multi-experiment runs across worker processes, memoizes rendered output
+in a content-addressed cache (:mod:`repro.experiments.cache`) and
+records a per-run ``manifest.json``. DESIGN.md section 4 maps each
+module to its figure/table; EXPERIMENTS.md records the measured
+outputs; docs/MECHANISM.md documents the runner itself.
 """
 
 EXPERIMENTS = {

@@ -1,0 +1,200 @@
+"""Content-addressed on-disk cache for rendered experiment results.
+
+Experiments are pure functions of (experiment module, config, package
+source): the simulator is fully seeded, so the rendered text is
+deterministic. That makes results safe to memoize on disk. A cache entry
+is keyed by
+
+- the experiment name,
+- a SHA-256 over the canonical JSON of the config-override dict, and
+- a *source digest*: a SHA-256 over the source files of every
+  ``repro.*`` module the experiment (transitively) imports, plus the
+  interpreter's major.minor version.
+
+Editing any module an experiment depends on therefore invalidates
+exactly the experiments that import it — `fig04` (pure formulas) keeps
+its entry when `sim/engine.py` changes, while every packet-level
+experiment re-runs.
+
+The dependency closure is computed statically (``ast`` walk over
+``import``/``from`` statements restricted to the ``repro`` package), so
+nothing is executed to decide whether a cache entry is still valid.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+import json
+import pathlib
+import sys
+from typing import Optional
+
+PACKAGE = "repro"
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+# Per-process memos: module source files never change mid-run.
+_file_cache: dict[str, Optional[str]] = {}
+_imports_cache: dict[str, frozenset[str]] = {}
+_digest_cache: dict[str, str] = {}
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def module_source_file(module_name: str) -> Optional[str]:
+    """Path of ``module_name``'s ``.py`` source, or None if not found."""
+    if module_name in _file_cache:
+        return _file_cache[module_name]
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, AttributeError, ValueError):
+        spec = None
+    origin = spec.origin if spec else None
+    path = origin if origin and origin.endswith(".py") else None
+    _file_cache[module_name] = path
+    return path
+
+
+def _package_imports(module_name: str) -> frozenset[str]:
+    """``repro.*`` modules imported directly by ``module_name``."""
+    if module_name in _imports_cache:
+        return _imports_cache[module_name]
+    names: set[str] = set()
+    path = module_source_file(module_name)
+    if path is not None:
+        tree = ast.parse(pathlib.Path(path).read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if (alias.name == PACKAGE
+                            or alias.name.startswith(PACKAGE + ".")):
+                        names.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue
+                if (node.module == PACKAGE
+                        or node.module.startswith(PACKAGE + ".")):
+                    names.add(node.module)
+                    # ``from repro.pkg import name`` may name a submodule.
+                    for alias in node.names:
+                        names.add(f"{node.module}.{alias.name}")
+    resolved = frozenset(n for n in names
+                         if module_source_file(n) is not None)
+    _imports_cache[module_name] = resolved
+    return resolved
+
+
+def module_closure(module_name: str) -> frozenset[str]:
+    """Transitive ``repro.*`` import closure of ``module_name``."""
+    seen: set[str] = set()
+    frontier = [module_name]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(_package_imports(current) - seen)
+    return frozenset(n for n in seen
+                     if module_source_file(n) is not None)
+
+
+def source_digest(module_name: str) -> str:
+    """SHA-256 fingerprint of everything ``module_name``'s result depends on.
+
+    Covers the source bytes of the transitive ``repro.*`` import closure
+    and the interpreter's major.minor version (bytecode semantics and
+    float formatting are stable within a minor version).
+    """
+    if module_name in _digest_cache:
+        return _digest_cache[module_name]
+    hasher = hashlib.sha256()
+    hasher.update(f"python-{sys.version_info[0]}.{sys.version_info[1]}"
+                  .encode())
+    for name in sorted(module_closure(module_name)):
+        path = module_source_file(name)
+        hasher.update(name.encode())
+        hasher.update(pathlib.Path(path).read_bytes())
+    digest = hasher.hexdigest()
+    _digest_cache[module_name] = digest
+    return digest
+
+
+def config_digest(config: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of a config dict."""
+    canonical = json.dumps(config, sort_keys=True, default=repr)
+    return _sha256(canonical.encode())
+
+
+class ResultCache:
+    """Directory of ``<key>.txt`` entries holding rendered experiment text.
+
+    Keys are content addresses (:meth:`key`); entries never go stale in
+    place — a source or config change produces a *different* key, and the
+    old entry is simply never read again.
+    """
+
+    def __init__(self, root: str | pathlib.Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, name: str, module_name: str, config: dict) -> str:
+        """Content address for one experiment invocation."""
+        return (f"{name}-{config_digest(config)[:12]}"
+                f"-{source_digest(module_name)[:12]}")
+
+    def entry_path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.txt"
+
+    def get(self, key: str) -> Optional[str]:
+        """Rendered text for ``key``, or None on a miss."""
+        path = self.entry_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return text
+
+    def put(self, key: str, text: str) -> pathlib.Path:
+        """Store ``text`` under ``key`` (atomically via rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.entry_path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text)
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.txt"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+
+def clear_memos() -> None:
+    """Drop the per-process source-digest memos (used by tests that
+    rewrite module sources on disk)."""
+    _file_cache.clear()
+    _imports_cache.clear()
+    _digest_cache.clear()
+
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "clear_memos",
+    "config_digest",
+    "module_closure",
+    "module_source_file",
+    "source_digest",
+]

@@ -25,7 +25,7 @@ from repro.core.config import QAConfig
 from repro.core.metrics import QualityMetrics
 from repro.server.session import SessionResult, StreamingSession
 from repro.sim.engine import Simulator
-from repro.sim.rng import SeededRNG, make_rng
+from repro.sim.rng import SeededRNG, derive_seed, make_rng
 from repro.sim.topology import Dumbbell, DumbbellConfig
 from repro.transport import (
     CbrSink,
@@ -80,13 +80,23 @@ class WorkloadConfig:
         overrides.setdefault("duration", 90.0)
         return cls(**overrides)
 
+    def with_seed(self, seed: int) -> "WorkloadConfig":
+        """This config with a different seed — the explicit path pooled
+        collections use, so every run's seed shows up in one place."""
+        return replace(self, seed=seed)
+
 
 class PaperWorkload:
     """Builds and runs one T1/T2 experiment.
 
     Per-flow parameters (initial SRTT estimates, start times) are
     jittered from the seed so different seeds give independent loss
-    patterns while every run stays exactly reproducible.
+    patterns while every run stays exactly reproducible. All randomness
+    flows from ``config.seed`` through :func:`repro.sim.rng.make_rng`
+    and (for components added later) :meth:`component_rng`; nothing
+    depends on process identity or ``PYTHONHASHSEED``, which is what
+    lets the parallel experiment runner farm runs out to worker
+    processes and still get bit-for-bit the serial output.
     """
 
     def __init__(self, config: Optional[WorkloadConfig] = None,
@@ -158,6 +168,16 @@ class PaperWorkload:
             )
             CbrSink(self.sim, dst, src.name, self.cbr.flow_id)
 
+    def component_rng(self, label: str) -> SeededRNG:
+        """An independent, label-addressed child stream of this run's seed.
+
+        Unlike drawing from ``self.rng`` (whose stream position depends
+        on construction order), a labelled child is stable no matter what
+        else is built — new components should take their randomness from
+        here so adding one never perturbs existing flows.
+        """
+        return SeededRNG(derive_seed(self.config.seed, label))
+
     # ----------------------------------------------------------------- run
 
     def run(self) -> SessionResult:
@@ -185,7 +205,7 @@ def pooled_metrics(seeds, build) -> QualityMetrics:
     """
     pooled = QualityMetrics()
     for seed in seeds:
-        result = build(seed).run()
+        result = build(int(seed)).run()
         pooled.drops.extend(result.metrics.drops)
         pooled.adds.extend(result.metrics.adds)
         pooled.stall_count += result.playout.stall_count

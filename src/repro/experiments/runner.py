@@ -1,52 +1,317 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point and orchestration layer for the experiments.
 
 Installed as ``repro-experiments``::
 
     repro-experiments list
     repro-experiments fig11
     repro-experiments table1 --out /tmp/table1.txt
-    repro-experiments all --out results/
+    repro-experiments fig03 fig04 fig08          # several at once
+    repro-experiments all --out results/ -j 4
+    repro-experiments all --no-cache             # force re-runs
+    repro-experiments bench --json timings.json  # timing manifest only
+
+Three mechanisms sit behind the CLI (documented in docs/MECHANISM.md):
+
+- **Parallel scheduling.** Multi-experiment runs dispatch cache misses to
+  a ``ProcessPoolExecutor``; experiments are pure functions of their
+  config and a fixed seed, so worker processes reproduce in-process
+  results bit for bit.
+- **Result caching.** Rendered text is memoized under ``.repro-cache/``,
+  keyed by experiment name + config digest + the source digest of the
+  modules the experiment imports (:mod:`repro.experiments.cache`).
+  ``--no-cache`` bypasses it, ``--cache-dir`` relocates it.
+- **Run manifests.** Every invocation records per-experiment wall time,
+  cache hit/miss, seed and output digest; ``manifest.json`` lands next to
+  the cache (or ``--out`` directory), and ``bench`` emits it on stdout
+  for the benchmark trajectory.
 """
 
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
+import hashlib
 import importlib
+import inspect
+import json
+import os
 import pathlib
 import sys
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+
+MANIFEST_SCHEMA = 1
 
 
-def render_experiment(name: str) -> str:
+# --------------------------------------------------------------- rendering
+
+def render_result(module, result) -> str:
+    """Normalize every experiment to one render protocol.
+
+    In order of preference: the result object's ``render()`` method, the
+    experiment module's ``render(result)`` function (table2 style), or
+    the result itself when it already is the rendered string. Anything
+    else (a plain dict, say) is a broken experiment module and raises
+    ``TypeError`` with a message naming the module, instead of the
+    ``AttributeError`` the old special-casing produced.
+    """
+    render = getattr(result, "render", None)
+    if callable(render):
+        return render()
+    render = getattr(module, "render", None)
+    if callable(render):
+        return render(result)
+    if isinstance(result, str):
+        return result
+    raise TypeError(
+        f"{module.__name__}.run() returned {type(result).__name__!r}, "
+        "which has no .render() method, no module-level render(result) "
+        "exists, and it is not already a string")
+
+
+def render_experiment(name: str, **overrides) -> str:
+    """Run experiment ``name`` (uncached) and return its rendered text."""
+    text, _ = _execute(name, overrides)
+    return text
+
+
+def _execute(name: str, overrides: dict) -> tuple[str, float]:
+    """Worker body: import, run, render; returns (text, seconds).
+
+    Module-level so it pickles for ``ProcessPoolExecutor`` workers.
+    """
+    start = time.perf_counter()
     module = importlib.import_module(EXPERIMENTS[name])
-    result = module.run()
-    if hasattr(result, "render"):
-        return result.render()
-    # table2 renders via a module-level function
-    return module.render(result)
+    result = module.run(**overrides)
+    text = render_result(module, result)
+    return text, time.perf_counter() - start
 
 
-def main(argv=None) -> int:
+# ----------------------------------------------------------- seed plumbing
+
+def seed_overrides(module, seed: Optional[int]) -> dict:
+    """The override dict that applies ``--seed`` to ``module.run``.
+
+    Experiments that take an explicit ``seed`` (or forward ``**overrides``
+    into :class:`~repro.experiments.common.WorkloadConfig`) get
+    ``{"seed": seed}``. Experiments pooling over a ``seeds`` sequence and
+    purely analytic experiments take no seed; they get ``{}``.
+    """
+    if seed is None:
+        return {}
+    params = inspect.signature(module.run).parameters
+    if "seeds" in params:
+        return {}
+    if "seed" in params or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in params.values()):
+        return {"seed": seed}
+    return {}
+
+
+def effective_seed(module, overrides: dict):
+    """The seed recorded in the manifest for one experiment run.
+
+    An explicit override wins; otherwise the ``seed``/``seeds`` default
+    declared by ``module.run``'s signature; ``None`` for experiments
+    without a seed parameter (analytic figures, or ``**overrides``-style
+    modules using the workload default).
+    """
+    if "seed" in overrides:
+        return overrides["seed"]
+    params = inspect.signature(module.run).parameters
+    for key in ("seed", "seeds"):
+        param = params.get(key)
+        if param is not None and param.default is not inspect.Parameter.empty:
+            default = param.default
+            return list(default) if isinstance(default, (tuple, list)) \
+                else default
+    return None
+
+
+# --------------------------------------------------------------- scheduler
+
+@dataclass
+class RunRecord:
+    """Outcome of one experiment within a runner invocation."""
+
+    name: str
+    text: str
+    seconds: float
+    cache_hit: bool
+    seed: object
+    cache_key: Optional[str]
+
+    @property
+    def output_sha256(self) -> str:
+        return hashlib.sha256(self.text.encode()).hexdigest()
+
+
+def run_experiments(names: Sequence[str], *,
+                    seed: Optional[int] = None,
+                    jobs: int = 1,
+                    cache: Optional[ResultCache] = None,
+                    refresh: bool = False,
+                    echo=None) -> list[RunRecord]:
+    """Run ``names``, resolving cache hits and parallelizing the misses.
+
+    Results come back in ``names`` order regardless of completion order.
+    ``jobs > 1`` sends cache misses through a ``ProcessPoolExecutor``;
+    ``jobs = 1`` runs them inline (identical output either way — that is
+    what the determinism tests assert). ``refresh`` forces every
+    experiment to re-run while still storing fresh cache entries (bench
+    mode). ``echo``, when given, receives one progress line per finished
+    experiment.
+    """
+    modules = {name: importlib.import_module(EXPERIMENTS[name])
+               for name in names}
+    applied = {name: seed_overrides(modules[name], seed) for name in names}
+    keys: dict[str, Optional[str]] = {}
+    records: dict[str, RunRecord] = {}
+
+    def note(record: RunRecord) -> None:
+        records[record.name] = record
+        if echo is not None:
+            status = "hit " if record.cache_hit else "miss"
+            echo(f"{record.name:22s} {record.seconds:8.2f}s  cache {status}")
+
+    misses: list[str] = []
+    for name in names:
+        key = None
+        if cache is not None:
+            key = cache.key(name, EXPERIMENTS[name], applied[name])
+            start = time.perf_counter()
+            text = None if refresh else cache.get(key)
+            if text is not None:
+                note(RunRecord(
+                    name=name, text=text,
+                    seconds=time.perf_counter() - start,
+                    cache_hit=True,
+                    seed=effective_seed(modules[name], applied[name]),
+                    cache_key=key))
+                continue
+        keys[name] = key
+        misses.append(name)
+
+    def record_miss(name: str, text: str, seconds: float) -> None:
+        if cache is not None:
+            cache.put(keys[name], text)
+        note(RunRecord(
+            name=name, text=text, seconds=seconds, cache_hit=False,
+            seed=effective_seed(modules[name], applied[name]),
+            cache_key=keys[name]))
+
+    if jobs > 1 and len(misses) > 1:
+        workers = min(jobs, len(misses))
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+            futures = {
+                pool.submit(_execute, name, applied[name]): name
+                for name in misses
+            }
+            for future in concurrent.futures.as_completed(futures):
+                text, seconds = future.result()
+                record_miss(futures[future], text, seconds)
+    else:
+        for name in misses:
+            text, seconds = _execute(name, applied[name])
+            record_miss(name, text, seconds)
+
+    return [records[name] for name in names]
+
+
+def build_manifest(records: Sequence[RunRecord], *,
+                   jobs: int, cache: Optional[ResultCache]) -> dict:
+    """The run manifest: schema documented in docs/MECHANISM.md."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "jobs": jobs,
+        "cache_dir": None if cache is None else str(cache.root),
+        "total_seconds": round(sum(r.seconds for r in records), 6),
+        "cache_hits": sum(r.cache_hit for r in records),
+        "cache_misses": sum(not r.cache_hit for r in records),
+        "experiments": [
+            {
+                "name": r.name,
+                "seconds": round(r.seconds, 6),
+                "cache_hit": r.cache_hit,
+                "seed": r.seed,
+                "output_sha256": r.output_sha256,
+                "cache_key": r.cache_key,
+            }
+            for r in records
+        ],
+    }
+
+
+# --------------------------------------------------------------------- CLI
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "experiment",
-        help="experiment name (see 'list'), 'list', or 'all'")
+        "experiments", nargs="+", metavar="experiment",
+        help="experiment names (see 'list'), 'list', 'all', or 'bench'")
     parser.add_argument(
         "--out", default=None,
-        help="write output to this file (or directory for 'all')")
-    args = parser.parse_args(argv)
+        help="write output to this file (or directory for several)")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for cache misses (default: CPU count)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the seed of every experiment that takes one")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely")
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR}/)")
+    parser.add_argument(
+        "--manifest", default=None,
+        help="also write the run manifest JSON to this path")
+    parser.add_argument(
+        "--json", default=None,
+        help="('bench' only) write the timing manifest to this file "
+             "instead of stdout")
+    return parser
 
-    if args.experiment == "list":
+
+def _write_manifest(manifest: dict, args, out_dir) -> None:
+    # Imported lazily: analysis pulls in numpy, which worker processes
+    # that only run analytic experiments do not need.
+    from repro.analysis.export import export_manifest
+    targets = []
+    if args.manifest:
+        targets.append(pathlib.Path(args.manifest))
+    elif out_dir is not None:
+        targets.append(out_dir / "manifest.json")
+    elif not args.no_cache:
+        targets.append(pathlib.Path(args.cache_dir) / "manifest.json")
+    for target in targets:
+        export_manifest(manifest, target)
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    names = list(args.experiments)
+    bench = names and names[0] == "bench"
+    if bench:
+        names = names[1:] or ["all"]
+
+    if names == ["list"]:
         for name, module in sorted(EXPERIMENTS.items()):
             print(f"{name:22s} {module}")
         return 0
 
-    names = (sorted(EXPERIMENTS) if args.experiment == "all"
-             else [args.experiment])
+    if "all" in names:
+        names = sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}",
@@ -54,22 +319,42 @@ def main(argv=None) -> int:
         print("use 'repro-experiments list'", file=sys.stderr)
         return 2
 
-    if args.experiment == "all" and args.out:
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    # bench measures real cost, so it never *reads* the cache — but it
+    # still stores fresh entries, warming subsequent runs.
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    echo = (lambda line: print(line, file=sys.stderr)) \
+        if (bench or len(names) > 1) else None
+
+    records = run_experiments(names, seed=args.seed, jobs=jobs,
+                              cache=cache, refresh=bench, echo=echo)
+    manifest = build_manifest(records, jobs=jobs, cache=cache)
+
+    out_dir: Optional[pathlib.Path] = None
+    if bench:
+        payload = json.dumps(manifest, indent=2, sort_keys=True)
+        if args.json:
+            target = pathlib.Path(args.json)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(payload + "\n")
+            print(f"wrote {target}")
+        else:
+            print(payload)
+    elif args.out and len(names) > 1:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
-        for name in names:
-            text = render_experiment(name)
-            (out_dir / f"{name}.txt").write_text(text)
-            print(f"wrote {out_dir / f'{name}.txt'}")
-        return 0
+        for record in records:
+            target = out_dir / f"{record.name}.txt"
+            target.write_text(record.text)
+            print(f"wrote {target}")
+    elif args.out:
+        pathlib.Path(args.out).write_text(records[0].text)
+        print(f"wrote {args.out}")
+    else:
+        for record in records:
+            print(record.text)
 
-    for name in names:
-        text = render_experiment(name)
-        if args.out:
-            pathlib.Path(args.out).write_text(text)
-            print(f"wrote {args.out}")
-        else:
-            print(text)
+    _write_manifest(manifest, args, out_dir)
     return 0
 
 

@@ -9,8 +9,23 @@ substreams.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional
+
+
+def derive_seed(seed: int, *parts) -> int:
+    """Mix ``seed`` with any hashable labels into a new 31-bit seed.
+
+    Unlike the builtin ``hash``, the mix is computed with SHA-256 over the
+    reprs, so it is identical in every process regardless of
+    ``PYTHONHASHSEED`` — the property that makes experiment results
+    bit-for-bit reproducible whether they run in-process or inside a
+    worker of the parallel experiment runner.
+    """
+    material = repr((int(seed),) + parts).encode()
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
 
 
 class SeededRNG(random.Random):
@@ -24,13 +39,13 @@ class SeededRNG(random.Random):
     def spawn(self, label: str = "") -> "SeededRNG":
         """Derive an independent child stream.
 
-        The child seed mixes the parent seed, a spawn counter and the label
-        hash, so streams are stable across runs and insensitive to spawn
-        order of *other* labels.
+        The child seed mixes the parent seed, a spawn counter and the
+        label (via :func:`derive_seed`), so streams are stable across runs
+        *and processes* and insensitive to spawn order of *other* labels.
         """
         self._spawn_count += 1
-        mix = hash((self.seed_value, self._spawn_count, label)) & 0x7FFFFFFF
-        return SeededRNG(mix)
+        return SeededRNG(derive_seed(self.seed_value, self._spawn_count,
+                                     label))
 
     def jittered(self, value: float, fraction: float) -> float:
         """``value`` +/- up to ``fraction`` of itself, uniformly."""

@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and CLI options for the test suite."""
 
 from __future__ import annotations
 
@@ -7,6 +7,28 @@ import pytest
 from repro.core.config import QAConfig
 from repro.sim.engine import Simulator
 from repro.sim.topology import Dumbbell, DumbbellConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ snapshots from freshly rendered "
+             "experiment output instead of asserting against them")
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="also run tests marked slow (multi-minute golden "
+             "regenerations)")
+
+
+def pytest_collection_modifyitems(config, items):
+    # --update-golden implies running the slow golden tests: an update
+    # that skipped the expensive artifacts would leave stale snapshots.
+    if config.getoption("--run-slow") or config.getoption("--update-golden"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow: pass --run-slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

@@ -1,0 +1,166 @@
+"""Property-based invariants for buffer accounting and the drop rule.
+
+Complements tests/core/test_properties.py (whole-mechanism stateful
+fuzz) with targeted algebraic properties of ``core/buffers.py`` and
+``core/add_drop.py``:
+
+- byte conservation: whatever interleaving of fills and drains, the
+  buffered total is exactly delivered-minus-consumed, and every drained
+  byte is either consumed or reported as shortfall;
+- the section 2.2 drop rule ``(na*C - R) >= sqrt(2*S*buf)``: the
+  surviving layer set can always cover its remaining deficit triangle
+  from the available buffering — no layer is left to run negative — and
+  it never drops more layers than that requires.
+
+Skipped wholesale when hypothesis is not installed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core import formulas  # noqa: E402
+from repro.core.add_drop import AddDropPolicy  # noqa: E402
+from repro.core.buffers import LayerBufferSet  # noqa: E402
+from repro.core.config import QAConfig  # noqa: E402
+
+# One buffer operation: (kind, layer, amount).
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["deliver", "advance"]),
+        st.integers(0, 3),
+        st.floats(min_value=0.0, max_value=5_000.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=40,
+)
+
+
+class TestByteConservation:
+    @given(ops=_ops, layer_rate=st.floats(min_value=100.0,
+                                          max_value=10_000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_total_is_delivered_minus_consumed(self, ops, layer_rate):
+        buffers = LayerBufferSet(layer_rate=layer_rate, max_layers=4)
+        now = 0.0
+        for layer in range(4):
+            buffers.activate(layer, now)
+            buffers.start_consuming(layer, now)
+        shortfall_total = 0.0
+        for kind, layer, amount in ops:
+            if kind == "deliver":
+                buffers.deliver(layer, amount)
+            else:
+                dt = amount / 5_000.0  # up to one second per step
+                now += dt
+                shortfalls = buffers.consume_until(now)
+                assert all(s > 0 for s in shortfalls.values())
+                shortfall_total += math.fsum(shortfalls.values())
+
+        delivered = math.fsum(buffers.delivered(i) for i in range(4))
+        consumed = math.fsum(buffers.consumed(i) for i in range(4))
+        # Conservation: nothing appears or vanishes inside the buffers.
+        assert buffers.total() == pytest.approx(delivered - consumed,
+                                                abs=1e-6)
+        # Every byte the clocks wanted was either consumed or reported
+        # as shortfall: wanted = 4 * C * elapsed time.
+        wanted = 4 * layer_rate * now
+        assert consumed + shortfall_total == pytest.approx(wanted,
+                                                           rel=1e-9,
+                                                           abs=1e-6)
+        for i in range(4):
+            assert buffers.level(i) >= 0.0
+
+    @given(
+        layer=st.integers(0, 3),
+        amounts=st.lists(st.floats(min_value=0.0, max_value=1e4),
+                         max_size=10),
+        dt=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deactivate_returns_exact_remainder(self, layer, amounts, dt):
+        buffers = LayerBufferSet(layer_rate=1_000.0, max_layers=4)
+        buffers.activate(layer, 0.0)
+        buffers.start_consuming(layer, 0.0)
+        for amount in amounts:
+            buffers.deliver(layer, amount)
+        buffers.consume_until(dt)
+        level = buffers.level(layer)
+        assert buffers.deactivate(layer) == pytest.approx(level)
+        assert buffers.total() == 0.0
+
+
+_drop_args = {
+    "rate": st.floats(min_value=100.0, max_value=60_000.0),
+    "total_buffer": st.floats(min_value=0.0, max_value=50_000.0),
+    "layer_rate": st.floats(min_value=500.0, max_value=10_000.0),
+    "slope": st.floats(min_value=100.0, max_value=10_000.0),
+    "active_layers": st.integers(min_value=1, max_value=8),
+}
+
+
+class TestDropRule:
+    @given(**_drop_args)
+    @settings(max_examples=200, deadline=None)
+    def test_survivors_can_drain_without_going_negative(
+            self, rate, total_buffer, layer_rate, slope, active_layers):
+        """After the rule runs, the remaining deficit triangle fits in
+        the available buffering (except the undroppable base layer), so
+        the fluid drain never pulls any layer below zero."""
+        keep = formulas.layers_to_keep(
+            rate, total_buffer, layer_rate, slope, active_layers)
+        assert 1 <= keep <= active_layers
+        deficit = keep * layer_rate - rate
+        if keep > 1:
+            # Loop exit condition: deficit < sqrt(2*S*buf)  <=>  the
+            # triangle the buffers must cover is within what they hold.
+            assert formulas.triangle_area(deficit, slope) <= \
+                total_buffer + 1e-6
+        if keep < active_layers:
+            # Dropping was necessary: one more layer would have demanded
+            # more buffering than exists.
+            over = (keep + 1) * layer_rate - rate
+            assert formulas.triangle_area(over, slope) >= \
+                total_buffer - 1e-6
+
+    @given(**_drop_args)
+    @settings(max_examples=100, deadline=None)
+    def test_more_buffering_never_drops_more(
+            self, rate, total_buffer, layer_rate, slope, active_layers):
+        keep = formulas.layers_to_keep(
+            rate, total_buffer, layer_rate, slope, active_layers)
+        keep_richer = formulas.layers_to_keep(
+            rate, 2.0 * total_buffer + 1_000.0, layer_rate, slope,
+            active_layers)
+        assert keep_richer >= keep
+
+    @given(**_drop_args)
+    @settings(max_examples=100, deadline=None)
+    def test_policy_wrapper_matches_formula(
+            self, rate, total_buffer, layer_rate, slope, active_layers):
+        policy = AddDropPolicy(QAConfig(
+            layer_rate=layer_rate, max_layers=max(active_layers, 2),
+            k_max=2, packet_size=500))
+        assert policy.layers_after_drop_rule(
+            rate, total_buffer, active_layers, slope) == \
+            formulas.layers_to_keep(rate, total_buffer, layer_rate,
+                                    slope, active_layers)
+
+    @given(
+        rate=st.floats(min_value=100.0, max_value=60_000.0),
+        slope=st.floats(min_value=100.0, max_value=10_000.0),
+        buffers=st.lists(st.floats(min_value=0.0, max_value=20_000.0),
+                         min_size=4, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_adds_beyond_max_layers(self, rate, slope, buffers):
+        config = QAConfig(layer_rate=2_000.0, max_layers=4, k_max=2,
+                          packet_size=500)
+        policy = AddDropPolicy(config)
+        assert policy.can_add(rate, rate, 4, buffers, slope) is False

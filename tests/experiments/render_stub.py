@@ -1,0 +1,14 @@
+"""A minimal experiment module exercising the module-level render path
+of :func:`repro.experiments.runner.render_result` (the table2 idiom)."""
+
+
+def run():
+    return 7
+
+
+def render(result):
+    return f"module render: {result}"
+
+
+def main():
+    print(render(run()))

@@ -1,0 +1,74 @@
+"""Golden-output regression tests: the paper artifacts may never drift.
+
+Two layers of protection:
+
+1. Every ``figNN``/``tableN`` experiment is re-rendered and compared
+   byte-for-byte against its snapshot in ``tests/golden/``. Cheap
+   experiments run in every test session; the multi-minute ones carry
+   ``@pytest.mark.slow`` (enable with ``--run-slow``).
+2. The committed ``results/*.txt`` artifacts must equal the golden
+   snapshots file-for-file — this costs nothing and covers *all*
+   experiments, including the ablations, in every session.
+
+After an intentional output change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden.py \
+        --update-golden
+    repro-experiments all --out results/ --no-cache
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, runner
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden"
+RESULTS_DIR = GOLDEN_DIR.parents[1] / "results"
+
+#: Paper artifacts cheap enough to re-render on every test run.
+FAST = ("fig01", "fig02", "fig03", "fig04", "fig05", "fig07", "fig08",
+        "fig09", "fig10", "fig14")
+#: Paper artifacts that take seconds to minutes (table1/2 ~2.5 min each).
+SLOW = ("fig06", "fig11", "fig12", "fig13", "table1", "table2")
+
+PAPER_ARTIFACTS = [
+    *(pytest.param(name, id=name) for name in FAST),
+    *(pytest.param(name, id=name, marks=pytest.mark.slow)
+      for name in SLOW),
+]
+
+
+def test_every_paper_artifact_is_parametrized():
+    covered = set(FAST) | set(SLOW)
+    expected = {name for name in EXPERIMENTS
+                if name.startswith(("fig", "table"))}
+    assert covered == expected
+
+
+@pytest.mark.parametrize("name", PAPER_ARTIFACTS)
+def test_rendered_output_matches_golden(name, request):
+    text = runner.render_experiment(name)
+    golden = GOLDEN_DIR / f"{name}.txt"
+    if request.config.getoption("--update-golden"):
+        golden.write_text(text)
+        return
+    assert golden.is_file(), (
+        f"missing snapshot {golden}; create it with --update-golden")
+    assert text == golden.read_text(), (
+        f"{name} output drifted from tests/golden/{name}.txt — if the "
+        "change is intentional, rerun with --update-golden and "
+        "regenerate results/")
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_committed_results_equal_golden(name):
+    """results/*.txt must stay in lockstep with the golden snapshots."""
+    golden = GOLDEN_DIR / f"{name}.txt"
+    committed = RESULTS_DIR / f"{name}.txt"
+    assert golden.is_file(), f"no golden snapshot for {name}"
+    assert committed.is_file(), f"no committed artifact for {name}"
+    assert committed.read_text() == golden.read_text(), (
+        f"results/{name}.txt no longer matches tests/golden/{name}.txt")
