@@ -13,7 +13,6 @@ three add rules and reports the time spent at three or more layers.
 Run:  python examples/modem_link.py
 """
 
-from repro.analysis import format_table, sparkline
 from repro.experiments.ablation_add_rules import run
 
 

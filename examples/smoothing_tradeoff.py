@@ -11,7 +11,6 @@ the two sides of the trade:
 Run:  python examples/smoothing_tradeoff.py
 """
 
-from repro.analysis import format_table
 from repro.experiments.fig12_kmax_sweep import run
 
 

@@ -12,6 +12,7 @@ from repro.analysis.export import (
     export_csv,
     export_events_csv,
     export_gnuplot,
+    export_lint_report,
     export_manifest,
     export_series_files,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "export_csv",
     "export_events_csv",
     "export_gnuplot",
+    "export_lint_report",
     "export_manifest",
     "export_series_files",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.sim.trace import Tracer
 
@@ -69,6 +69,19 @@ def export_manifest(manifest: dict, path) -> pathlib.Path:
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(manifest, indent=2, sort_keys=True)
                       + "\n")
+    return target
+
+
+def export_lint_report(report: dict, path) -> pathlib.Path:
+    """Write a ``repro-lint --format json`` report as stable JSON.
+
+    Same conventions as :func:`export_manifest` (sorted keys, trailing
+    newline): reports for identical trees are byte-identical, so CI can
+    archive them and dashboards can diff violation counts across PRs.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return target
 
 

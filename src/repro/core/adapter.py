@@ -47,7 +47,7 @@ from repro.core.states import StateSequence
 Clock = Callable[[], float]
 RateFn = Callable[[], float]
 SlopeFn = Callable[[], float]
-EventHook = Callable[[float, str, dict], None]
+EventHook = Callable[[float, str, dict[str, object]], None]
 
 
 class QualityAdapter:
@@ -99,7 +99,9 @@ class QualityAdapter:
     # ------------------------------------------------------------ helpers
 
     @staticmethod
-    def _make_policies(config: QAConfig):
+    def _make_policies(
+        config: QAConfig,
+    ) -> tuple[FillingPolicy, DrainingPlanner]:
         """Pick the filling/draining pair for the configured allocator.
 
         The strawman allocators live in :mod:`repro.baselines` (imported
@@ -147,7 +149,7 @@ class QualityAdapter:
         else:
             self._slope_avg += 0.05 * (sample - self._slope_avg)
 
-    def _emit(self, kind: str, **fields) -> None:
+    def _emit(self, kind: str, **fields: object) -> None:
         if self.on_event is not None:
             self.on_event(self.now_fn(), kind, fields)
 
@@ -233,7 +235,7 @@ class QualityAdapter:
 
     # ------------------------------------------------------ transport API
 
-    def pick_layer(self, seq: int) -> Optional[dict]:
+    def pick_layer(self, seq: int) -> Optional[dict[str, int]]:
         """Assign the next packet to a layer (transmission opportunity).
 
         Returns the packet metadata ``{"layer": i, "active": na}``. A
@@ -249,7 +251,7 @@ class QualityAdapter:
                 layer = self._pick_filling(now)
             else:
                 layer = self._pick_draining(now)
-        if layer is not None and self._flow_control_full(layer):
+        if self._flow_control_full(layer):
             # Receiver full: idle this slot. Return any draining quota
             # the pick already spent.
             if not self.is_filling() and layer < len(self._quota):
@@ -476,12 +478,14 @@ class QualityAdapter:
             self._refreeze_sequence()
         elif self._sequence.active_layers != self.active_layers:
             self._refreeze_sequence()
+        sequence = self._sequence
+        assert sequence is not None  # _refreeze_sequence just set it
         period = self.config.drain_period
         base_protection = (self._inflight[0]
                            if self.config.feedback != "ack" else 0.0)
         plan = self.planner.plan(
             self.rate_fn(), self.buffer_levels(), self.active_layers,
-            period, self._sequence, base_protection=base_protection)
+            period, sequence, base_protection=base_protection)
         if plan.shortfall > formulas.EPSILON:
             # Regressing the whole path cannot cover this period's
             # deficit. A single period's sliver can be jitter; a
@@ -496,9 +500,11 @@ class QualityAdapter:
                 and self.active_layers > 1):
             self._drop_top_layer(DropCause.SHORTFALL)
             self._plan_shortfall_debt = 0.0
+            sequence = self._sequence
+            assert sequence is not None  # refrozen by _drop_top_layer
             plan = self.planner.plan(
                 self.rate_fn(), self.buffer_levels(), self.active_layers,
-                period, self._sequence, base_protection=base_protection)
+                period, sequence, base_protection=base_protection)
         self._plan = plan
         self._plan_until = now + period
         self._quota = list(plan.quotas)

@@ -11,7 +11,7 @@ delivered - consumed``, consumption is a constant ``C`` per active layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

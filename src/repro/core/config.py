@@ -7,8 +7,8 @@ states a value, and sensible engineering choices where it does not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Any, Optional
 
 
 @dataclass
@@ -126,7 +126,7 @@ class QAConfig:
                 and self.max_buffer_seconds <= 0:
             raise ValueError("max_buffer_seconds must be positive")
 
-    def with_(self, **changes) -> "QAConfig":
+    def with_(self, **changes: Any) -> "QAConfig":
         """A copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
 

@@ -153,7 +153,7 @@ class FillingPolicy:
         shares2 = formulas.scenario_shares(rate, cfg.layer_rate, na, slope,
                                            s2_k, SCENARIO_TWO)
 
-        if s1_pending and req1 <= req2:
+        if shares1 is not None and req1 <= req2:
             # Working towards the scenario-1 state.
             for layer in range(na):
                 if shares1[layer] > buffers[layer] + formulas.EPSILON:
@@ -166,7 +166,7 @@ class FillingPolicy:
         # layers (where it can still substitute for lower-layer
         # buffering). This is the section 4 constraint that keeps the
         # path monotone.
-        if s1_pending:
+        if shares1 is not None:
             targets = self._clamp_shares(shares2, shares1)
         else:
             targets = shares2
@@ -176,11 +176,13 @@ class FillingPolicy:
         return FillingDecision(None, s1_k, s2_k, SCENARIO_TWO)
 
     @staticmethod
-    def _clamp_shares(raw, caps):
+    def _clamp_shares(
+        raw: Sequence[float], caps: Sequence[float]
+    ) -> tuple[float, ...]:
         """Clamp ``raw`` element-wise at ``caps``, carrying any excess to
         higher layers; leftover that no cap can hold lands on the top
         layer (total protection is preserved either way)."""
-        clamped = []
+        clamped: list[float] = []
         carry = 0.0
         for share, cap in zip(raw, caps):
             want = share + carry

@@ -13,11 +13,12 @@ packet network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.core.adapter import QualityAdapter
 from repro.core.config import QAConfig
+from repro.core.metrics import QualityMetrics
 from repro.sim.engine import Simulator
 from repro.sim.trace import PeriodicSampler, Tracer
 
@@ -70,7 +71,7 @@ class FluidResult:
     adapter: QualityAdapter
 
     @property
-    def metrics(self):
+    def metrics(self) -> QualityMetrics:
         return self.adapter.metrics
 
 

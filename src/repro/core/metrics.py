@@ -124,7 +124,7 @@ class QualityMetrics:
         """Total number of layer adds plus drops (smoothing metric)."""
         return len(self.adds) + len(self.drops)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Optional[float]]:
         """Everything the experiment harnesses print."""
         eff = self.buffering_efficiency()
         poor = self.poor_distribution_percent()

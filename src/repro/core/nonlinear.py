@@ -75,15 +75,16 @@ def band_shares(deficit: float, layer_rates: Sequence[float],
     rates = validate_rates(layer_rates)
     if slope <= 0:
         raise ValueError("slope must be positive")
-    shares = []
+    shares: list[float] = []
     level = 0.0
     for rate in rates:
         if level >= deficit - EPSILON:
             shares.append(0.0)
             continue
         top = min(level + rate, deficit)
-        area = ((deficit - level) ** 2 - (deficit - top) ** 2) \
-            / (2.0 * slope)
+        area = (
+            (deficit - level) ** 2 - (deficit - top) ** 2
+        ) / (2.0 * slope)
         shares.append(area)
         level = top
     return tuple(shares)

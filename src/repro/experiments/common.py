@@ -18,7 +18,7 @@ overrides, so the literal 800 Kb/s setting is one argument away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.config import QAConfig

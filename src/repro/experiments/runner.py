@@ -323,8 +323,11 @@ def main(argv=None) -> int:
     # bench measures real cost, so it never *reads* the cache — but it
     # still stores fresh entries, warming subsequent runs.
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    echo = (lambda line: print(line, file=sys.stderr)) \
-        if (bench or len(names) > 1) else None
+    if bench or len(names) > 1:
+        def echo(line: str) -> None:
+            print(line, file=sys.stderr)
+    else:
+        echo = None
 
     records = run_experiments(names, seed=args.seed, jobs=jobs,
                               cache=cache, refresh=bench, echo=echo)

@@ -1,0 +1,219 @@
+"""Command-line entry point for repro-lint.
+
+Exit codes follow the compiler convention the CI job keys on: 0 clean,
+1 violations found, 2 usage error (unknown rule code, unreadable path).
+Syntax errors in checked files are reported as RL000 -- a file the
+analyzer cannot parse cannot be certified, so it fails the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.rules import default_rules
+from repro.lint.rules.base import FileContext, Rule
+from repro.lint.suppressions import Suppressions
+from repro.lint.violations import Violation, build_report
+
+#: Pseudo-code for files the analyzer cannot parse.
+SYNTAX_ERROR_CODE = "RL000"
+
+_SKIP_DIR_NAMES = frozenset({"__pycache__"})
+
+
+def iter_python_files(
+    paths: Sequence[str],
+) -> list[tuple[pathlib.Path, str]]:
+    """(resolved path, display path) for every ``.py`` under ``paths``.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped. Display paths preserve the user's
+    spelling so output is stable across machines.
+    """
+    out: list[tuple[pathlib.Path, str]] = []
+    seen: set[pathlib.Path] = set()
+
+    def add(resolved: pathlib.Path, display: str) -> None:
+        if resolved not in seen:
+            seen.add(resolved)
+            out.append((resolved, display))
+
+    for raw in paths:
+        base = pathlib.Path(raw)
+        if base.is_file():
+            add(base.resolve(), raw)
+            continue
+        if not base.is_dir():
+            raise FileNotFoundError(raw)
+        for candidate in sorted(base.rglob("*.py")):
+            relative = candidate.relative_to(base)
+            parts = relative.parts
+            if any(
+                part in _SKIP_DIR_NAMES or part.startswith(".")
+                for part in parts
+            ):
+                continue
+            add(candidate.resolve(), str(base / relative))
+    return out
+
+
+def lint_file(
+    path: pathlib.Path, display_path: str, rules: Sequence[Rule]
+) -> list[Violation]:
+    """All unsuppressed violations in one file."""
+    source = path.read_text(encoding="utf-8")
+    suppressions = Suppressions.scan(source)
+    try:
+        tree = ast.parse(source, filename=display_path)
+    except SyntaxError as exc:
+        violation = Violation(
+            path=display_path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=SYNTAX_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+        )
+        if suppressions.covers(violation.code, violation.line):
+            return []
+        return [violation]
+    ctx = FileContext(
+        path=path, display_path=display_path, source=source, tree=tree
+    )
+    found: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not suppressions.covers(violation.code, violation.line):
+                found.append(violation)
+    return found
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> tuple[list[Violation], int]:
+    """Lint every Python file under ``paths``.
+
+    Returns (violations sorted by location, number of files checked).
+    """
+    active = tuple(rules) if rules is not None else default_rules()
+    files = iter_python_files(paths)
+    violations: list[Violation] = []
+    for path, display in files:
+        violations.extend(lint_file(path, display, active))
+    return sorted(violations), len(files)
+
+
+def _select_rules(spec: str) -> tuple[Rule, ...]:
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    rules = default_rules()
+    known = {rule.code for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return tuple(rule for rule in rules if rule.code in wanted)
+
+
+def _list_rules() -> str:
+    lines = [f"{SYNTAX_ERROR_CODE} syntax: file must parse"]
+    for rule in default_rules():
+        lines.append(f"{rule.code} {rule.title}: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism and invariant checker for the repro "
+            "codebase (rules RL001-RL004; see docs/LINTING.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its rationale and exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules: Optional[tuple[Rule, ...]] = None
+    if options.rules is not None:
+        try:
+            rules = _select_rules(options.rules)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        violations, files_checked = lint_paths(options.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        report = build_report(violations, files_checked)
+        if options.out is not None:
+            # Stable-JSON conventions shared with the experiment
+            # manifests: identical trees produce byte-identical reports.
+            from repro.analysis.export import export_lint_report
+
+            export_lint_report(report, options.out)
+        else:
+            sys.stdout.write(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+    else:
+        rendered = "".join(v.format() + "\n" for v in violations)
+        if options.out is not None:
+            pathlib.Path(options.out).write_text(rendered, encoding="utf-8")
+        else:
+            sys.stdout.write(rendered)
+
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        print(
+            f"repro-lint: {len(violations)} violation(s) in "
+            f"{files_checked} {noun}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"repro-lint: {files_checked} {noun} clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Rule registry: one place that knows every rule class."""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import FileContext, Rule
+from repro.lint.rules.rl001_determinism import DeterminismRule
+from repro.lint.rules.rl002_protocol import ExperimentProtocolRule
+from repro.lint.rules.rl003_units import UnitsDisciplineRule
+from repro.lint.rules.rl004_cache import CacheKeyHygieneRule
+
+__all__ = [
+    "CacheKeyHygieneRule",
+    "DeterminismRule",
+    "ExperimentProtocolRule",
+    "FileContext",
+    "Rule",
+    "UnitsDisciplineRule",
+    "default_rules",
+]
+
+
+def default_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every rule, in code order.
+
+    A factory (not a module-level tuple) because rules may memoize
+    per-run state -- RL002 caches each experiments directory's registry
+    -- and invocations must not see each other's caches.
+    """
+    return (
+        DeterminismRule(),
+        ExperimentProtocolRule(),
+        UnitsDisciplineRule(),
+        CacheKeyHygieneRule(),
+    )

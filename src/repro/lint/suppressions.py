@@ -1,0 +1,64 @@
+"""``# repro-lint: disable=CODE`` suppression comments.
+
+Two forms, modelled on pylint's:
+
+- ``# repro-lint: disable=RL001`` on a line suppresses the listed codes
+  for violations reported *on that line* (trailing or standalone -- the
+  comment's own line is what counts, matching the ``lineno`` the rules
+  report).
+- ``# repro-lint: disable-file=RL001,RL003`` anywhere in the file
+  (conventionally in the module docstring area) suppresses the listed
+  codes for the whole file.
+
+Codes are comma-separated; unknown codes are accepted silently so a
+suppression written for a future rule does not break older checkouts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_COMMENT = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one source file."""
+
+    file_level: frozenset[str] = frozenset()
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        """Collect directives from every physical line of ``source``.
+
+        A plain string scan (not the tokenizer) keeps syntactically
+        broken files suppressible; the directive grammar is strict
+        enough that false positives inside string literals would have to
+        be written deliberately.
+        """
+        file_level: set[str] = set()
+        by_line: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _COMMENT.search(text)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+            )
+            if match.group("scope") == "disable-file":
+                file_level |= codes
+            else:
+                by_line[lineno] = by_line.get(lineno, frozenset()) | codes
+        return cls(file_level=frozenset(file_level), by_line=by_line)
+
+    def covers(self, code: str, line: int) -> bool:
+        """Is a ``code`` violation reported at ``line`` suppressed?"""
+        if code in self.file_level:
+            return True
+        return code in self.by_line.get(line, frozenset())

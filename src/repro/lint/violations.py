@@ -1,0 +1,50 @@
+"""Violation records and the machine-readable report schema.
+
+A violation pinpoints one rule breach at ``path:line:col``. The JSON
+report mirrors the experiment runner's manifest conventions (stable key
+order, schema version field) so dashboards can track violation counts
+per PR the same way they track cache hit rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+#: Version of the ``--format json`` report layout.
+REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule breach, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line rendering: ``path:line:col: CODE msg``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def build_report(
+    violations: Sequence[Violation], files_checked: int
+) -> dict[str, object]:
+    """The ``--format json`` payload (stable ordering, see REPORT_SCHEMA).
+
+    ``counts`` maps rule code to violation count so a dashboard can plot
+    per-rule trends without re-parsing the violation list.
+    """
+    counts: dict[str, int] = {}
+    for violation in sorted(violations):
+        counts[violation.code] = counts.get(violation.code, 0) + 1
+    return {
+        "schema": REPORT_SCHEMA,
+        "files_checked": files_checked,
+        "total": len(violations),
+        "counts": counts,
+        "violations": [asdict(v) for v in sorted(violations)],
+    }

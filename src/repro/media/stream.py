@@ -14,7 +14,6 @@ decoding constraint.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 

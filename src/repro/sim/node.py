@@ -7,7 +7,7 @@ demultiplex arriving packets to attached transport agents by ``flow_id``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Optional, Protocol
 
 from repro.sim.engine import Simulator
 from repro.sim.link import Link

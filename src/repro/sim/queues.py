@@ -11,6 +11,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.sim.packet import Packet
+from repro.sim.rng import SeededRNG
 
 DropCallback = Callable[[Packet], None]
 
@@ -93,9 +94,9 @@ class REDQueue(DropTailQueue):
         capacity_packets: int,
         min_thresh: float,
         max_thresh: float,
+        rng: SeededRNG,
         max_prob: float = 0.1,
         weight: float = 0.002,
-        rng=None,
         on_drop: Optional[DropCallback] = None,
     ) -> None:
         super().__init__(capacity_packets=capacity_packets, on_drop=on_drop)
@@ -109,10 +110,10 @@ class REDQueue(DropTailQueue):
         self.weight = weight
         self._avg = 0.0
         self._count_since_drop = 0
-        if rng is None:
-            import random
-
-            rng = random.Random(0)
+        # No fallback: an implicit random.Random(0) here once gave every
+        # RED queue in a multi-queue topology the *same* drop sequence,
+        # invisible to the golden traces. Callers pass a stream derived
+        # from the experiment seed (see repro.sim.rng.SeededRNG.spawn).
         self._rng = rng
 
     @property

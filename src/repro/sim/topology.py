@@ -19,7 +19,7 @@ bottleneck_delay)`` plus queueing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.engine import Simulator
 from repro.sim.link import Link

@@ -11,7 +11,7 @@ from __future__ import annotations
 import bisect
 import csv
 import io
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.sim.engine import Simulator
 

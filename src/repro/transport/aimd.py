@@ -19,14 +19,13 @@ Differences from RAP that matter to quality adaptation:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.node import Host
-from repro.sim.packet import Packet, PacketType
+from repro.sim.packet import Packet
 from repro.transport.base import TransportAgent, next_flow_id
 from repro.transport.rap import (
-    ACK_SIZE,
     AckHandler,
     BackoffHandler,
     LossHandler,

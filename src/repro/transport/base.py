@@ -9,7 +9,7 @@ demultiplexing delivers both directions correctly.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.engine import Simulator
 from repro.sim.node import Host

@@ -1,7 +1,5 @@
 """Unit tests for the fixed-quality (non-adaptive) baseline."""
 
-import pytest
-
 from repro.baselines.static_stream import FixedQualityAdapter
 from repro.core.config import QAConfig
 

@@ -1,7 +1,5 @@
 """Focused tests for the adapter's draining-phase behaviour."""
 
-import pytest
-
 from repro.core.config import QAConfig
 from repro.core.metrics import DropCause
 

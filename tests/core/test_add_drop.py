@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import formulas
 from repro.core.add_drop import AddDropPolicy
-from repro.core.config import QAConfig
 from repro.core.states import StateSequence
 
 

@@ -1,7 +1,5 @@
 """Unit and property tests for the draining planner (section 4.2)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

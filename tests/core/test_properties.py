@@ -6,14 +6,11 @@ the invariants that must hold for any input -- the strongest form of the
 paper's "no assumptions about loss patterns" claim this repo can check.
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )

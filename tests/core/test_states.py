@@ -1,12 +1,9 @@
 """Unit and property tests for the buffer-state sequence (Figures 8-10)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import formulas
 from repro.core.states import BufferState, StateSequence
 
 rates = st.floats(min_value=5_000, max_value=200_000)

@@ -1,10 +1,7 @@
 """Shape tests for the section-7 extension ablations."""
 
-import math
-
 import pytest
 
-from repro.core import formulas
 from repro.experiments import ablation_nonlinear, ablation_transport
 
 

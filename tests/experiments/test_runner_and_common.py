@@ -1,9 +1,6 @@
 """Tests for the experiment registry, CLI runner and workload builder."""
 
 import importlib
-import pathlib
-
-import pytest
 
 from repro.experiments import EXPERIMENTS, runner
 from repro.experiments.common import (

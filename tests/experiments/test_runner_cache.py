@@ -14,8 +14,6 @@ The load-bearing guarantees:
 from __future__ import annotations
 
 import json
-import pathlib
-import sys
 import types
 
 import pytest
@@ -23,7 +21,6 @@ import pytest
 from repro.experiments import EXPERIMENTS, cache as cache_mod, runner
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import (
-    RunRecord,
     build_manifest,
     effective_seed,
     render_result,

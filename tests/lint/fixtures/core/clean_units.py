@@ -1,0 +1,16 @@
+"""RL003 negative case: units discipline done right.
+
+Not one of the always-checked core stems, but it imports
+repro.core.units, which also puts it in scope -- and stays clean.
+"""
+
+from repro.core.units import KILOBYTE, kbps_to_bytes
+
+
+def headroom(bandwidth_kbps: float, reserved_kbps: float) -> float:
+    # Same-unit arithmetic: both operands come from the helpers.
+    return kbps_to_bytes(bandwidth_kbps) - kbps_to_bytes(reserved_kbps)
+
+
+def in_kilobytes(nbytes: float) -> float:
+    return nbytes / KILOBYTE  # Div is unit conversion, allowed

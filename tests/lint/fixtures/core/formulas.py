@@ -1,0 +1,31 @@
+"""RL003 positive cases: unit-helper values mixed with raw literals.
+
+Stem 'formulas' under a core/ directory puts this file in RL003's
+always-checked set, exactly like src/repro/core/formulas.py.
+"""
+
+from repro.core import units
+from repro.core.units import KILOBYTE, kbps_to_bytes, ms
+
+
+def mixed_add(bandwidth_kbps: float) -> float:
+    return kbps_to_bytes(bandwidth_kbps) + 1000  # line 12: RL003 (add)
+
+
+def mixed_compare(bandwidth_kbps: float) -> bool:
+    return kbps_to_bytes(bandwidth_kbps) > 125.0  # line 16: RL003 (cmp)
+
+
+def module_attr_mix(delay: float) -> float:
+    return units.ms(delay) - 0.5  # line 20: RL003 (module-attr helper)
+
+
+def scaling_is_fine(bandwidth_kbps: float) -> float:
+    return kbps_to_bytes(bandwidth_kbps) * 8  # fine: Mult is scaling
+
+def zero_is_fine(bandwidth_kbps: float) -> bool:
+    return kbps_to_bytes(bandwidth_kbps) > 0  # fine: zero has no units
+
+
+def annotated_mix(buffered: float) -> float:
+    return buffered + KILOBYTE - 24  # repro-lint: disable=RL003

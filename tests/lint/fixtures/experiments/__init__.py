@@ -1,0 +1,7 @@
+"""Fixture experiment registry (mirrors repro.experiments.EXPERIMENTS)."""
+
+EXPERIMENTS = {
+    "fig-good": "tests.lint.fixtures.experiments.fig_good",
+    "fig-badproto": "tests.lint.fixtures.experiments.fig_badproto",
+    "fig-dynamic": "tests.lint.fixtures.experiments.fig_dynamic",
+}

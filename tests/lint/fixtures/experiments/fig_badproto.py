@@ -1,0 +1,12 @@
+"""RL002 positive cases: registered, but breaks the runner protocol.
+
+- ``run`` has a parameter without a default (dispatch would crash);
+- it imports the stochastic toolkit yet accepts no seed/seeds/kwargs;
+- there is no render function or render-bearing class.
+"""
+
+from repro.experiments.common import build_experiment
+
+
+def run(duration):  # line 11: RL002 x2 (no default, no seed threading)
+    return build_experiment(duration=duration)

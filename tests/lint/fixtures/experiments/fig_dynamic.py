@@ -1,0 +1,13 @@
+"""RL004 positive cases: dynamic imports invisible to the cache key."""
+
+import importlib  # line 3: RL004
+
+
+def run(name: str = "fig01", duration: float = 5.0) -> object:
+    module = importlib.import_module(f"repro.experiments.{name}")
+    mystery = __import__("repro.core.formulas")  # line 8: RL004
+    return (module, mystery, duration)
+
+
+def render(result: object) -> str:
+    return str(result)

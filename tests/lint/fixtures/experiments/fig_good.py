@@ -1,0 +1,12 @@
+"""RL002/RL004 negative case: a fully protocol-compliant experiment."""
+
+from repro.sim.rng import make_rng
+
+
+def run(seed: int = 1, duration: float = 5.0) -> dict:
+    rng = make_rng(seed)
+    return {"seed": seed, "duration": duration, "draw": rng.random()}
+
+
+def render(result: dict) -> str:
+    return f"fig-good: {result}"

@@ -1,0 +1,9 @@
+"""RL002 positive case: valid protocol but missing from EXPERIMENTS."""
+
+
+def run(duration: float = 5.0) -> str:  # deterministic: no seed needed
+    return f"ran for {duration}"
+
+
+def render(result: str) -> str:
+    return result

@@ -1,0 +1,17 @@
+"""RL001 negative case: the sanctioned way to be stochastic."""
+
+from repro.sim.rng import SeededRNG, derive_seed
+
+
+def build_queue_rng(experiment_seed: int, queue_name: str) -> SeededRNG:
+    return SeededRNG(derive_seed(experiment_seed, "queue", queue_name))
+
+
+def jitter(rng: SeededRNG, value: float) -> float:
+    # Method calls on a local rng object are fine: the head of the
+    # attribute chain is not an imported module.
+    return rng.jittered(value, 0.1)
+
+
+def stable_order(flow_ids: set) -> list:
+    return sorted(flow_ids)  # sets are fine as long as order is forced

@@ -1,0 +1,18 @@
+"""Suppression cases: the same RL001 hazards, annotated away.
+
+The whole-file directive silences RL003 only (there are no RL003
+violations here, proving unknown-to-this-file codes are harmless), and
+each RL001 hazard carries a line suppression.
+"""
+
+# repro-lint: disable-file=RL003
+
+import random  # repro-lint: disable=RL001
+
+
+def legacy_rng():
+    return random.Random(0)  # repro-lint: disable=RL001
+
+
+def unsuppressed():
+    return random.random()  # line 18: the one RL001 that must survive

@@ -1,0 +1,123 @@
+"""CLI behavior: output formats, exit codes, reports, rule selection."""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.lint import REPORT_SCHEMA, build_report, main
+from repro.lint.violations import Violation
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+LOCATION_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+):(?P<col>\d+): "
+                         r"(?P<code>RL\d{3}) (?P<message>.+)$")
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "sim" / "clean.py"
+    path.parent.mkdir()
+    path.write_text("VALUE = 1\n")
+    return path
+
+
+class TestTextOutput:
+    def test_file_line_col_format(self, capsys):
+        exit_code = main([str(FIXTURES / "sim" / "bad_random.py")])
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines  # violations were printed
+        for line in lines:
+            assert LOCATION_RE.match(line), line
+
+    def test_output_sorted_by_location(self, capsys):
+        main([str(FIXTURES)])
+        lines = capsys.readouterr().out.strip().splitlines()
+        keys = []
+        for line in lines:
+            match = LOCATION_RE.match(line)
+            keys.append((match["path"], int(match["line"]),
+                         int(match["col"]), match["code"]))
+        assert keys == sorted(keys)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_file, capsys):
+        assert main([str(clean_file)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_violations_exit_one(self, capsys):
+        assert main([str(FIXTURES / "sim" / "bad_random.py")]) == 1
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--rules", "RL999", str(FIXTURES)]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nowhere")]) == 2
+
+    def test_syntax_error_reported_as_rl000(self, tmp_path, capsys):
+        broken = tmp_path / "sim" / "broken.py"
+        broken.parent.mkdir()
+        broken.write_text("def half(:\n")
+        assert main([str(broken)]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+
+class TestRuleSelection:
+    def test_rules_filter(self, capsys):
+        assert main(["--rules", "RL004", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "RL004" in out
+        assert "RL001" not in out
+        assert "RL002" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL000", "RL001", "RL002", "RL003", "RL004"):
+            assert code in out
+
+
+class TestJsonReport:
+    def test_schema_and_counts(self, capsys):
+        main(["--format", "json", str(FIXTURES)])
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["total"] == len(report["violations"])
+        assert report["total"] > 0
+        for code in ("RL001", "RL002", "RL003", "RL004"):
+            assert report["counts"][code] > 0, code
+        assert sum(report["counts"].values()) == report["total"]
+        first = report["violations"][0]
+        assert set(first) == {"path", "line", "col", "code", "message"}
+
+    def test_out_file_stable_and_sorted(self, tmp_path, capsys):
+        target = tmp_path / "lint.json"
+        main(["--format", "json", "--out", str(target), str(FIXTURES)])
+        text = target.read_text()
+        assert text.endswith("\n")
+        report = json.loads(text)
+        # export_lint_report conventions: stable key order, so a second
+        # run over the same tree is byte-identical.
+        target2 = tmp_path / "lint2.json"
+        main(["--format", "json", "--out", str(target2), str(FIXTURES)])
+        assert target2.read_text() == text
+        locations = [(v["path"], v["line"], v["col"])
+                     for v in report["violations"]]
+        assert locations == sorted(locations)
+
+    def test_build_report_counts(self):
+        violations = [
+            Violation("b.py", 2, 0, "RL001", "x"),
+            Violation("a.py", 1, 0, "RL003", "y"),
+            Violation("a.py", 9, 4, "RL001", "z"),
+        ]
+        report = build_report(violations, files_checked=2)
+        assert report["files_checked"] == 2
+        assert report["counts"] == {"RL001": 2, "RL003": 1}
+        assert [v["path"] for v in report["violations"]] == [
+            "a.py", "a.py", "b.py"
+        ]

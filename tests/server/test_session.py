@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import QAConfig
 from repro.server.session import StreamingSession
-from repro.sim.engine import Simulator
 from repro.sim.topology import Dumbbell, DumbbellConfig
 from repro.transport import RapSink, RapSource
 

@@ -13,7 +13,6 @@ import pytest
 
 from repro.core.config import QAConfig
 from repro.server.session import StreamingSession
-from repro.sim.engine import Simulator
 from repro.sim.queues import REDQueue
 from repro.sim.rng import SeededRNG
 from repro.sim.topology import Dumbbell, DumbbellConfig

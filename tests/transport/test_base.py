@@ -1,7 +1,5 @@
 """Unit tests for transport plumbing shared by all agents."""
 
-import pytest
-
 from repro.sim.node import Host
 from repro.sim.packet import PacketType
 from repro.transport.base import FlowStats, TransportAgent, next_flow_id
