@@ -61,11 +61,40 @@ class FillingDecision:
         return f"S{self.working_scenario}k{k}"
 
 
+#: Bound on the exact-argument result caches below; cleared when full.
+_CACHE_LIMIT = 4096
+
+
 class FillingPolicy:
-    """Chooses the layer for each packet sent during a filling phase."""
+    """Chooses the layer for each packet sent during a filling phase.
+
+    The per-packet work is dominated by :func:`formulas.scenario_total` /
+    :func:`formulas.scenario_shares` evaluations whose inputs (rate,
+    slope, layer count) repeat for long packet runs between rate changes.
+    Results are memoized on their exact float arguments — a pure-function
+    cache, so every returned value is bit-identical to the uncached
+    computation and golden traces are unaffected.
+    """
 
     def __init__(self, config: QAConfig) -> None:
         self.config = config
+        self._shares_cache: dict[
+            tuple[float, int, float, int, int], tuple[float, ...]
+        ] = {}
+
+    def _shares(
+        self, rate: float, na: int, slope: float, k: int, scenario: int
+    ) -> tuple[float, ...]:
+        """Memoized :func:`formulas.scenario_shares` (layer_rate is fixed)."""
+        key = (rate, na, slope, k, scenario)
+        cached = self._shares_cache.get(key)
+        if cached is None:
+            cached = formulas.scenario_shares(
+                rate, self.config.layer_rate, na, slope, k, scenario)
+            if len(self._shares_cache) >= _CACHE_LIMIT:
+                self._shares_cache.clear()
+            self._shares_cache[key] = cached
+        return cached
 
     def choose(
         self,
@@ -146,12 +175,10 @@ class FillingPolicy:
 
         s1_pending = s1_k <= cfg.k_max
         shares1 = (
-            formulas.scenario_shares(rate, cfg.layer_rate, na, slope,
-                                     s1_k, SCENARIO_ONE)
+            self._shares(rate, na, slope, s1_k, SCENARIO_ONE)
             if s1_pending else None
         )
-        shares2 = formulas.scenario_shares(rate, cfg.layer_rate, na, slope,
-                                           s2_k, SCENARIO_TWO)
+        shares2 = self._shares(rate, na, slope, s2_k, SCENARIO_TWO)
 
         if shares1 is not None and req1 <= req2:
             # Working towards the scenario-1 state.
@@ -206,14 +233,40 @@ class FillingPolicy:
 
         Mirrors the pseudocode's WHILE loops: returns ``(k, requirement)``;
         for scenario 1 the search stops at ``cap + 1`` (fully provisioned).
+
+        For scenario 2 past ``k1`` the requirement grows *linearly* —
+        ``req(k) = first + (k - k1) * sequential`` — so instead of walking
+        k one step at a time (the profiled hot spot: ~100 evaluations per
+        packet at deep buffering), the smallest unsatisfied k is found by
+        direct division and then corrected by at most a couple of exact
+        comparisons. The returned requirement is computed with the same
+        expression :func:`formulas.scenario_total` uses, so the result is
+        bit-identical to the naive walk.
         """
+        bound = total_buffer + formulas.EPSILON
         k = 0
         req = 0.0
-        while req <= total_buffer + formulas.EPSILON:
+        k1 = (formulas.k1_backoffs(rate, consumption)
+              if scenario == SCENARIO_TWO else None)
+        while req <= bound:
             if cap is not None and k >= cap + 1:
                 break
             if k >= _MAX_K_SEARCH:  # pragma: no cover - runaway guard
                 break
+            if k1 is not None and k == k1 and cap is None:
+                # Linear regime: jump to the answer instead of walking.
+                first = req
+                sequential = formulas.triangle_area(consumption / 2.0,
+                                                    slope)
+                n = max(1, int((bound - first) / sequential))
+                while n > 1 and first + (n - 1) * sequential > bound:
+                    n -= 1
+                while (first + n * sequential <= bound
+                       and k1 + n < _MAX_K_SEARCH):
+                    n += 1
+                if k1 + n > _MAX_K_SEARCH:  # pragma: no cover - guard
+                    n = _MAX_K_SEARCH - k1
+                return k1 + n, first + n * sequential
             k += 1
             req = formulas.scenario_total(rate, consumption, slope, k,
                                           scenario)

@@ -31,6 +31,7 @@ EXPERIMENTS = {
     "fig14": "repro.experiments.fig14_scenario2_geometry",
     "table1": "repro.experiments.table1_efficiency",
     "table2": "repro.experiments.table2_drop_causes",
+    "multiflow-fairness": "repro.experiments.multiflow_fairness",
     "ablation-allocators": "repro.experiments.ablation_allocators",
     "ablation-add-rules": "repro.experiments.ablation_add_rules",
     "ablation-static": "repro.experiments.ablation_static",

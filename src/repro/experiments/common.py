@@ -23,18 +23,18 @@ from typing import Optional
 
 from repro.core.config import QAConfig
 from repro.core.metrics import QualityMetrics
-from repro.server.session import SessionResult, StreamingSession
-from repro.sim.engine import Simulator
-from repro.sim.rng import SeededRNG, derive_seed, make_rng
-from repro.sim.topology import Dumbbell, DumbbellConfig
-from repro.transport import (
-    CbrSink,
-    CbrSource,
-    RapSink,
-    RapSource,
-    TcpSink,
-    TcpSource,
+from repro.scenario import (
+    CbrFlowSpec,
+    QAFlowSpec,
+    RapFlowSpec,
+    Scenario,
+    ScenarioConfig,
+    TcpFlowSpec,
 )
+from repro.server.session import SessionResult, StreamingSession
+from repro.sim.rng import SeededRNG, derive_seed, make_rng
+from repro.sim.topology import DumbbellConfig
+from repro.transport import CbrSource, RapSource, TcpSource
 
 
 @dataclass
@@ -87,7 +87,7 @@ class WorkloadConfig:
 
 
 class PaperWorkload:
-    """Builds and runs one T1/T2 experiment.
+    """Builds and runs one T1/T2 experiment via the scenario layer.
 
     Per-flow parameters (initial SRTT estimates, start times) are
     jittered from the seed so different seeds give independent loss
@@ -97,6 +97,12 @@ class PaperWorkload:
     depends on process identity or ``PYTHONHASHSEED``, which is what
     lets the parallel experiment runner farm runs out to worker
     processes and still get bit-for-bit the serial output.
+
+    This class is now a thin facade over :class:`repro.scenario.Scenario`:
+    it pre-draws the per-flow jitter in the historical order from
+    ``self.rng`` into explicit spec fields (keeping every golden trace
+    byte-identical), then hands the spec list to the builder. New
+    experiments should use :class:`Scenario` directly.
     """
 
     def __init__(self, config: Optional[WorkloadConfig] = None,
@@ -111,62 +117,62 @@ class PaperWorkload:
         self.transport_cls = transport_cls
         self.rng: SeededRNG = make_rng(config.seed)
 
-        cfg = config
-        n_pairs = 1 + cfg.n_rap_background + cfg.n_tcp
-        if cfg.cbr_fraction > 0:
-            n_pairs += 1
-        self.sim = Simulator()
-        self.network = Dumbbell(self.sim, DumbbellConfig(
-            n_pairs=n_pairs,
-            bottleneck_bandwidth=cfg.bottleneck_bandwidth,
-            queue_capacity_packets=cfg.queue_capacity,
-        ))
-        self.session = self._build_session()
-        self.background_rap: list[RapSource] = []
-        self.background_tcp: list[TcpSource] = []
-        self.cbr: Optional[CbrSource] = None
-        self._build_background()
+        self.scenario = Scenario(self._scenario_config())
+        self.sim = self.scenario.sim
+        self.network = self.scenario.network
+        self.session: StreamingSession = self.scenario.flows[0].session
+        self.background_rap: list[RapSource] = [
+            f.source for f in self.scenario.flows if f.kind == "rap"]
+        self.background_tcp: list[TcpSource] = [
+            f.source for f in self.scenario.flows if f.kind == "tcp"]
+        cbr_flows = [f for f in self.scenario.flows if f.kind == "cbr"]
+        self.cbr: Optional[CbrSource] = (
+            cbr_flows[0].source if cbr_flows else None)
 
     # ------------------------------------------------------------- builders
 
-    def _build_session(self) -> StreamingSession:
-        server_host, client_host = self.network.pair(0)
-        return StreamingSession(
-            self.sim, server_host, client_host,
-            self.config.qa_config(),
+    def _scenario_config(self) -> ScenarioConfig:
+        """Translate the workload into flow specs.
+
+        Jitter is drawn from ``self.rng`` here, in the exact order the
+        pre-scenario builder consumed it (per background RAP: SRTT then
+        start; per TCP: start), so seeds reproduce historical runs.
+        """
+        cfg = self.config
+        flows: list = [QAFlowSpec(
+            config=cfg.qa_config(),
             adapter_cls=self.adapter_cls,
             transport_cls=self.transport_cls,
-        )
-
-    def _build_background(self) -> None:
-        cfg = self.config
-        slot = 1
-        for _ in range(cfg.n_rap_background):
-            src, dst = self.network.pair(slot)
-            rap = RapSource(
-                self.sim, src, dst.name,
+            label="qa",
+        )]
+        for i in range(cfg.n_rap_background):
+            flows.append(RapFlowSpec(
                 packet_size=cfg.packet_size,
                 srtt_init=self.rng.jittered(0.2, 0.25),
                 start=self.rng.uniform(0.0, 0.3),
-            )
-            RapSink(self.sim, dst, src.name, rap.flow_id)
-            self.background_rap.append(rap)
-            slot += 1
-        for _ in range(cfg.n_tcp):
-            src, dst = self.network.pair(slot)
-            tcp = TcpSource(self.sim, src, dst.name,
-                            start=self.rng.uniform(0.0, 0.5))
-            TcpSink(self.sim, dst, src.name, tcp.flow_id)
-            self.background_tcp.append(tcp)
-            slot += 1
+                label=f"rap{i}",
+            ))
+        for i in range(cfg.n_tcp):
+            flows.append(TcpFlowSpec(
+                start=self.rng.uniform(0.0, 0.5),
+                label=f"tcp{i}",
+            ))
         if cfg.cbr_fraction > 0:
-            src, dst = self.network.pair(slot)
-            self.cbr = CbrSource(
-                self.sim, src, dst.name,
+            flows.append(CbrFlowSpec(
                 rate=cfg.cbr_fraction * cfg.bottleneck_bandwidth,
-                start=cfg.cbr_start, stop=cfg.cbr_stop,
-            )
-            CbrSink(self.sim, dst, src.name, self.cbr.flow_id)
+                start=cfg.cbr_start,
+                stop=cfg.cbr_stop,
+                label="cbr",
+            ))
+        return ScenarioConfig(
+            flows=tuple(flows),
+            topology=DumbbellConfig(
+                bottleneck_bandwidth=cfg.bottleneck_bandwidth,
+                queue_capacity_packets=cfg.queue_capacity,
+            ),
+            duration=cfg.duration,
+            seed=cfg.seed,
+        )
 
     def component_rng(self, label: str) -> SeededRNG:
         """An independent, label-addressed child stream of this run's seed.

@@ -10,10 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis import ascii_chart, format_kv
-from repro.sim.engine import Simulator
-from repro.sim.topology import Dumbbell, DumbbellConfig
-from repro.sim.trace import PeriodicSampler, TimeSeries
-from repro.transport import RapSink, RapSource
+from repro.scenario import RapFlowSpec, Scenario, ScenarioConfig
+from repro.sim.topology import DumbbellConfig
+from repro.sim.trace import TimeSeries
+from repro.telemetry import TelemetryBus, TransportRateProbe
 
 
 @dataclass
@@ -47,26 +47,28 @@ def run(link_bandwidth: float = 12_500.0, duration: float = 40.0,
     Defaults put the link at 12.5 KB/s (the paper's axis tops at about
     14 KB/s) with a small drop-tail queue so losses come regularly.
     """
-    sim = Simulator()
-    net = Dumbbell(sim, DumbbellConfig(
-        n_pairs=1,
-        bottleneck_bandwidth=link_bandwidth,
-        queue_capacity_packets=queue_packets,
+    scenario = Scenario(ScenarioConfig(
+        flows=(RapFlowSpec(packet_size=packet_size, srtt_init=0.2,
+                           start=0.0),),
+        topology=DumbbellConfig(
+            bottleneck_bandwidth=link_bandwidth,
+            queue_capacity_packets=queue_packets,
+        ),
+        duration=duration,
     ))
-    src, dst = net.pair(0)
-    rap = RapSource(sim, src, dst.name, packet_size=packet_size)
-    sink = RapSink(sim, dst, src.name, rap.flow_id)
+    flow = scenario.flows[0]
+    bus = TelemetryBus(scenario.sim)
+    bus.subscribe(TransportRateProbe(flow.source, "rap_rate", period=0.05))
+    scenario.run()
 
-    rate = TimeSeries("rap_rate")
-    PeriodicSampler(sim, 0.05, lambda now: rate.record(now, rap.rate))
-    sim.run(until=duration)
-
+    rate = bus.tracer.get("rap_rate")
     return Fig01Result(
         rate=rate,
         link_bandwidth=link_bandwidth,
-        backoffs=rap.stats.backoffs,
+        backoffs=flow.source.stats.backoffs,
         mean_rate=rate.time_average(),
-        utilization=sink.stats.bytes_received / (link_bandwidth * duration),
+        utilization=(flow.sink.stats.bytes_received
+                     / (link_bandwidth * duration)),
     )
 
 

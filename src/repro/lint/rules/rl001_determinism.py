@@ -3,8 +3,8 @@
 The golden-trace regression harness and the content-addressed result
 cache both assume that an experiment is a pure function of (source,
 config, seed). Any ambient randomness or wall-clock read under ``sim/``,
-``core/``, ``transport/`` or ``media/`` silently breaks that contract,
-so this rule bans it at rest:
+``core/``, ``transport/``, ``media/``, ``scenario/`` or ``telemetry/``
+silently breaks that contract, so this rule bans it at rest:
 
 - stdlib ``random`` in any form -- module-state calls *and*
   ``random.Random(...)`` construction (the ``queues.py`` fallback bug:
@@ -28,7 +28,7 @@ from repro.lint.rules.base import FileContext, Rule, import_aliases, resolve_dot
 from repro.lint.violations import Violation
 
 #: Directories whose code the rule polices.
-ZONES = ("sim", "core", "transport", "media")
+ZONES = ("sim", "core", "transport", "media", "scenario", "telemetry")
 
 _WALL_CLOCK = frozenset(
     {

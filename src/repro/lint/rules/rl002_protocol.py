@@ -7,8 +7,8 @@ experiments, and renders the result through a small protocol. A module
 that drifts from any of these conventions fails at dispatch time -- or
 worse, silently runs unseeded. This rule checks the contract statically:
 
-- every ``fig*``/``table*``/``ablation*`` module in an experiments
-  directory appears in the sibling registry;
+- every ``fig*``/``table*``/``ablation*``/``multiflow*`` module in an
+  experiments directory appears in the sibling registry;
 - a top-level ``def run`` exists and every parameter has a default (the
   runner calls ``run(**overrides)`` with possibly-empty overrides);
 - a module that imports the stochastic toolkit
@@ -29,7 +29,7 @@ from typing import Optional
 from repro.lint.rules.base import FileContext, Rule
 from repro.lint.violations import Violation
 
-_EXPERIMENT_STEM = re.compile(r"^(fig|table|ablation)")
+_EXPERIMENT_STEM = re.compile(r"^(fig|table|ablation|multiflow)")
 
 #: Infrastructure modules an experiments directory may contain that are
 #: not themselves experiments.

@@ -1,0 +1,81 @@
+"""Results of a scenario run: per-flow outcomes + cross-flow metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.server.session import SessionResult
+from repro.sim.flowmon import jain_index
+
+
+@dataclass
+class FlowResult:
+    """One flow's outcome.
+
+    ``session`` is populated for QA flows only; transport-level counters
+    (``bytes_delivered``, ``mean_rate``) come from the bottleneck flow
+    monitor and exist for every flow kind.
+    """
+
+    index: int
+    kind: str
+    label: str
+    flow_id: int
+    start: float
+    bytes_delivered: int
+    mean_rate: float
+    #: This flow's fraction of all delivered bytes (0..1).
+    share: float
+    session: Optional[SessionResult] = None
+
+    def mean_layers(self) -> Optional[float]:
+        """Time-averaged active layers (QA flows with telemetry only)."""
+        if self.session is None:
+            return None
+        try:
+            return self.session.tracer.get("layers").time_average()
+        except KeyError:
+            return None
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a multi-flow experiment needs after the run."""
+
+    flows: list[FlowResult]
+    duration: float
+    #: Jain fairness index over all flows' mean delivered rates.
+    fairness: float
+    #: Bottleneck utilization per backbone link (fraction of capacity).
+    link_utilization: list[float]
+
+    @property
+    def utilization(self) -> float:
+        """Mean utilization across backbone links."""
+        if not self.link_utilization:
+            return 0.0
+        return sum(self.link_utilization) / len(self.link_utilization)
+
+    def qa_flows(self) -> list[FlowResult]:
+        return [f for f in self.flows if f.kind == "qa"]
+
+    def flows_of(self, kind: str) -> list[FlowResult]:
+        return [f for f in self.flows if f.kind == kind]
+
+    def fairness_of(self, *kinds: str) -> float:
+        """Jain index restricted to the given flow kinds."""
+        rates = [f.mean_rate for f in self.flows
+                 if not kinds or f.kind in kinds]
+        return jain_index(rates)
+
+    def summary(self) -> dict:
+        """Cross-flow numbers, insertion-ordered for stable rendering."""
+        out: dict = {
+            "n_flows": len(self.flows),
+            "fairness": self.fairness,
+            "utilization": self.utilization,
+        }
+        for flow in self.flows:
+            out[f"rate_{flow.label}"] = flow.mean_rate
+        return out

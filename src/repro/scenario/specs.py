@@ -1,0 +1,123 @@
+"""Flow and scenario specifications.
+
+Specs are frozen: a :class:`ScenarioConfig` fully describes a run before
+anything touches the simulator, which is what makes scenarios cacheable,
+comparable and safe to ship across process boundaries.
+
+Stochastic per-flow parameters follow one convention: an explicit value
+is used verbatim; ``None`` means "draw from this flow's own spawned RNG
+stream" (see :meth:`repro.scenario.builder.Scenario._flow_rng`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.config import QAConfig
+from repro.sim.parking_lot import ParkingLotConfig
+from repro.sim.topology import DumbbellConfig
+
+
+@dataclass(frozen=True)
+class QAFlowSpec:
+    """One quality-adaptive streaming session (server + client)."""
+
+    config: QAConfig = field(default_factory=QAConfig)
+    start: float = 0.0
+    stop: Optional[float] = None
+    sample_period: float = 0.1
+    label: Optional[str] = None
+    #: Overrides for ablations (None -> the production classes).
+    adapter_cls: Optional[type] = None
+    transport_cls: Optional[type] = None
+
+    kind = "qa"
+
+
+@dataclass(frozen=True)
+class RapFlowSpec:
+    """A plain RAP flow (congestion-controlled background traffic)."""
+
+    packet_size: int = 1000
+    #: None -> jittered around 0.2 s from the flow's RNG.
+    srtt_init: Optional[float] = None
+    #: None -> uniform in [0, 0.3) s from the flow's RNG.
+    start: Optional[float] = None
+    stop: Optional[float] = None
+    label: Optional[str] = None
+
+    kind = "rap"
+
+
+@dataclass(frozen=True)
+class TcpFlowSpec:
+    """A Sack-style TCP flow."""
+
+    packet_size: int = 1000
+    #: None -> uniform in [0, 0.5) s from the flow's RNG.
+    start: Optional[float] = None
+    stop: Optional[float] = None
+    label: Optional[str] = None
+
+    kind = "tcp"
+
+
+@dataclass(frozen=True)
+class CbrFlowSpec:
+    """A constant-bit-rate source (unresponsive traffic)."""
+
+    rate: float = 50_000.0
+    packet_size: int = 1000
+    start: float = 0.0
+    stop: Optional[float] = None
+    label: Optional[str] = None
+
+    kind = "cbr"
+
+
+FlowSpec = Union[QAFlowSpec, RapFlowSpec, TcpFlowSpec, CbrFlowSpec]
+
+TopologyConfig = Union[DumbbellConfig, ParkingLotConfig]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete multi-flow run.
+
+    Args:
+        flows: flow specs, one simulated flow each, built in list order.
+            On a dumbbell, flow i occupies source/sink slot i (``n_pairs``
+            in the topology config is overridden by ``len(flows)``). On a
+            parking lot, flow 0 is the end-to-end pair and flow i >= 1 is
+            the hop-(i-1) cross pair (so ``len(flows) == n_hops + 1``).
+        topology: a :class:`DumbbellConfig` or :class:`ParkingLotConfig`.
+        duration: simulated seconds.
+        seed: master seed; per-flow streams are spawned from it.
+        telemetry: False disables all per-session sampling and event
+            logging (near-zero tracing cost).
+        telemetry_decimate: sample every Nth period (N >= 1).
+        monitor_period: FlowMonitor throughput sampling period (seconds).
+    """
+
+    flows: tuple[FlowSpec, ...] = ()
+    topology: TopologyConfig = field(default_factory=DumbbellConfig)
+    duration: float = 40.0
+    seed: int = 1
+    telemetry: bool = True
+    telemetry_decimate: int = 1
+    monitor_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ValueError("a scenario needs at least one flow")
+        if isinstance(self.topology, ParkingLotConfig):
+            want = self.topology.n_hops + 1
+            if len(self.flows) != want:
+                raise ValueError(
+                    f"parking-lot scenario needs exactly {want} flows "
+                    f"(1 end-to-end + {self.topology.n_hops} cross), "
+                    f"got {len(self.flows)}"
+                )
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")

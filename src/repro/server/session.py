@@ -1,8 +1,11 @@
-"""One quality-adaptive streaming session with full instrumentation.
+"""One quality-adaptive streaming session.
 
 :class:`StreamingSession` builds a :class:`~repro.server.server.
 VideoServer` / :class:`~repro.server.client.VideoClient` pair on a
-dumbbell slot and records everything the paper's figures plot:
+dumbbell slot. Instrumentation rides on a :class:`~repro.telemetry.
+TelemetryBus`: by default the session creates its own (enabled) bus and
+subscribes a :class:`~repro.telemetry.SessionProbe` recording everything
+the paper's figures plot:
 
 - ``rate``            -- RAP transmission rate (bytes/s)
 - ``consumption``     -- na * C (bytes/s)
@@ -14,6 +17,9 @@ dumbbell slot and records everything the paper's figures plot:
 - ``total_buffer``    -- sum of receiver buffers
 
 plus an event log (add/drop/backoff/playout events from the adapter).
+Pass ``telemetry=TelemetryBus(sim, enabled=False)`` to run headless: no
+samplers are scheduled, no events are logged, and the simulation pays
+near-zero tracing cost.
 """
 
 from __future__ import annotations
@@ -29,7 +35,8 @@ from repro.server.client import VideoClient
 from repro.server.server import VideoServer
 from repro.sim.engine import Simulator
 from repro.sim.node import Host
-from repro.sim.trace import PeriodicSampler, Tracer
+from repro.sim.trace import Tracer
+from repro.telemetry import SessionProbe, TelemetryBus
 
 
 @dataclass
@@ -47,14 +54,19 @@ class SessionResult:
             stalls_receiver=self.playout.stall_count,
             stall_time_receiver=self.playout.stall_time,
             gap_bytes=self.playout.total_gap_bytes,
-            mean_layers=self.tracer.get("layers").time_average(),
-            mean_rate=self.tracer.get("rate").time_average(),
         )
+        try:
+            out["mean_layers"] = self.tracer.get("layers").time_average()
+            out["mean_rate"] = self.tracer.get("rate").time_average()
+        except KeyError:
+            # Telemetry was disabled for this run; the trace-derived
+            # means simply are not available.
+            pass
         return out
 
 
 class StreamingSession:
-    """Server + client + tracing on one source/sink host pair."""
+    """Server + client + telemetry on one source/sink host pair."""
 
     def __init__(
         self,
@@ -67,10 +79,13 @@ class StreamingSession:
         sample_period: float = 0.1,
         adapter_cls=None,
         transport_cls=None,
+        telemetry: Optional[TelemetryBus] = None,
     ) -> None:
         self.sim = sim
         self.config = config
-        self.tracer = Tracer()
+        self.telemetry = telemetry if telemetry is not None \
+            else TelemetryBus(sim)
+        self.tracer = self.telemetry.tracer
         self.sample_period = sample_period
         self._start = start
 
@@ -80,51 +95,16 @@ class StreamingSession:
         self.server = VideoServer(
             sim, server_host, client_host.name, config, stream=stream,
             start=start,
-            on_event=lambda t, kind, f: self.tracer.log_event(t, kind, **f),
+            on_event=self.telemetry.event_hook(),
             adapter_cls=adapter_cls or QualityAdapter,
             transport_cls=transport_cls or RapSource)
         self.client = VideoClient(
             sim, client_host, server_host.name, self.server.flow_id,
             config, start=start)
 
-        self._last_sent = [0.0] * config.max_layers
-        self._last_consumed = [0.0] * config.max_layers
-        self._last_delivered = [0.0] * config.max_layers
-        self._sampler = PeriodicSampler(sim, sample_period, self._sample,
-                                        start=start)
-
-    # ------------------------------------------------------------ sampling
-
-    def _sample(self, now: float) -> None:
-        cfg = self.config
-        adapter = self.server.adapter
-        playout = self.client.playout
-        playout.advance(now)
-
-        self.tracer.record("rate", now, self.server.rap.rate)
-        self.tracer.record("consumption", now, adapter.consumption)
-        self.tracer.record("layers", now, adapter.active_layers)
-        self.tracer.record("total_buffer", now, playout.total_buffered())
-        self.tracer.record("srtt", now, self.server.rap.srtt)
-
-        dt = self.sample_period
-        for i in range(cfg.max_layers):
-            sent = adapter.sent_bytes_per_layer[i]
-            self.tracer.record(f"send_rate_L{i}", now,
-                               (sent - self._last_sent[i]) / dt)
-            self._last_sent[i] = sent
-
-            consumed = playout.buffers.consumed(i)
-            delivered = playout.buffers.delivered(i)
-            drain = max(0.0, (consumed - self._last_consumed[i])
-                        - (delivered - self._last_delivered[i])) / dt
-            self.tracer.record(f"drain_rate_L{i}", now, drain)
-            self._last_consumed[i] = consumed
-            self._last_delivered[i] = delivered
-
-            self.tracer.record(f"buffer_L{i}", now, playout.level(i))
-            self.tracer.record(f"buffer_est_L{i}", now,
-                               adapter.buffers.level(i))
+        self._probe = SessionProbe(self.server, self.client,
+                                   period=sample_period)
+        self._sampler = self.telemetry.subscribe(self._probe, start=start)
 
     # ------------------------------------------------------------- results
 
@@ -139,4 +119,5 @@ class StreamingSession:
     def stop(self) -> None:
         self.server.stop()
         self.client.stop()
-        self._sampler.stop()
+        if self._sampler is not None:
+            self._sampler.stop()

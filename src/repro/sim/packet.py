@@ -24,7 +24,7 @@ class PacketType(Enum):
 _packet_uid = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated packet.
 

@@ -135,15 +135,27 @@ class Tracer:
         self.events: list[tuple[float, str, dict]] = []
 
     def get(self, name: str) -> TimeSeries:
-        """Fetch-or-create the series ``name``."""
+        """The recorded series ``name``.
+
+        Raises a KeyError that names the missing series *and* lists what
+        was actually traced — the lookup usually happens deep inside a
+        summary/render call, far from whoever mistyped the channel.
+        """
+        ts = self.series.get(name)
+        if ts is None:
+            available = ", ".join(sorted(self.series)) or "<none>"
+            raise KeyError(
+                f"no traced series named {name!r}; available: {available}"
+            )
+        return ts
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append a sample, creating the series on first use."""
         ts = self.series.get(name)
         if ts is None:
             ts = TimeSeries(name)
             self.series[name] = ts
-        return ts
-
-    def record(self, name: str, time: float, value: float) -> None:
-        self.get(name).record(time, value)
+        ts.record(time, value)
 
     def log_event(self, time: float, kind: str, **fields) -> None:
         """Record a discrete event (layer add/drop, underflow, ...)."""
@@ -160,13 +172,14 @@ class Tracer:
         """
         if names is None:
             names = sorted(self.series)
-        all_times = sorted({t for n in names for t in self.series[n].times})
+        columns = {n: self.get(n) for n in names}
+        all_times = sorted({t for ts in columns.values() for t in ts.times})
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(["time", *names])
         for t in all_times:
             writer.writerow(
                 [f"{t:.6f}"]
-                + [f"{self.series[n].value_at(t):.6f}" for n in names]
+                + [f"{columns[n].value_at(t):.6f}" for n in names]
             )
         return buf.getvalue()

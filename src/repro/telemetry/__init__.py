@@ -1,0 +1,37 @@
+"""Decoupled telemetry: a subscription bus between probes and traces.
+
+Instrumentation used to be welded into :class:`~repro.server.session.
+StreamingSession` — every run paid full per-layer sampling cost whether
+or not anyone looked at the series. This package splits that into:
+
+- :class:`TelemetryBus` — owns the :class:`~repro.sim.trace.Tracer`,
+  schedules subscribed probes, and can decimate (sample every Nth
+  period) or disable sampling entirely. A disabled bus schedules no
+  samplers and drops all records, so headless/batch runs pay near-zero
+  tracing cost.
+- probes — registered channels. :class:`SessionProbe` samples every
+  series the paper's figures plot (rates, layer counts, per-layer
+  buffers and drain rates); :class:`QueueOccupancyProbe` and
+  :class:`TransportRateProbe` watch shared-path state that no single
+  session owns.
+
+Adapter events (add/drop/backoff) flow through :meth:`TelemetryBus.
+event_hook`, which is ``None`` when the bus is disabled so producers
+skip the call entirely.
+"""
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.probes import (
+    Probe,
+    QueueOccupancyProbe,
+    SessionProbe,
+    TransportRateProbe,
+)
+
+__all__ = [
+    "TelemetryBus",
+    "Probe",
+    "SessionProbe",
+    "QueueOccupancyProbe",
+    "TransportRateProbe",
+]

@@ -1,0 +1,97 @@
+"""The telemetry bus: probe subscription, decimation, on/off switch."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import PeriodicSampler, TimeSeries, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.probes import Probe
+
+
+class TelemetryBus:
+    """Routes probe samples and discrete events into a :class:`Tracer`.
+
+    Args:
+        sim: the event engine (drives the periodic samplers).
+        tracer: series sink; a fresh one is created if omitted.
+        enabled: when False, no samplers are scheduled, records are
+            dropped, and :meth:`event_hook` returns ``None`` — the
+            simulation runs with near-zero instrumentation cost.
+        decimate: sample every Nth probe period (N >= 1). Stretches each
+            probe's effective period by the factor; probes see the
+            effective period as their ``dt`` so rate derivations stay
+            correct.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Optional[Tracer] = None,
+        enabled: bool = True,
+        decimate: int = 1,
+    ) -> None:
+        if decimate < 1:
+            raise ValueError(f"decimate must be >= 1, got {decimate}")
+        self.sim = sim
+        self.enabled = enabled
+        self.decimate = decimate
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.probes: list["Probe"] = []
+        self._samplers: list[PeriodicSampler] = []
+
+    # ------------------------------------------------------- subscriptions
+
+    def subscribe(
+        self, probe: "Probe", start: float = 0.0
+    ) -> Optional[PeriodicSampler]:
+        """Register ``probe`` and start sampling it (unless disabled).
+
+        Returns the sampler driving the probe, or ``None`` when the bus
+        is disabled (the probe stays registered but is never sampled).
+        """
+        self.probes.append(probe)
+        probe.bind(self)
+        if not self.enabled:
+            return None
+        sampler = PeriodicSampler(
+            self.sim, probe.period * self.decimate, probe.sample,
+            start=start)
+        self._samplers.append(sampler)
+        return sampler
+
+    # ------------------------------------------------------------- sinks
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append a sample to channel ``name`` (dropped when disabled)."""
+        if self.enabled:
+            self.tracer.record(name, time, value)
+
+    def log_event(self, time: float, kind: str, **fields) -> None:
+        """Record a discrete event (dropped when disabled)."""
+        if self.enabled:
+            self.tracer.log_event(time, kind, **fields)
+
+    def event_hook(self) -> Optional[Callable[[float, str, dict], None]]:
+        """An ``on_event(t, kind, fields)`` callable, or None if disabled.
+
+        Producers treat ``None`` as "don't even build the event", which
+        keeps the disabled path allocation-free.
+        """
+        if not self.enabled:
+            return None
+        tracer = self.tracer
+        return lambda t, kind, f: tracer.log_event(t, kind, **f)
+
+    # ------------------------------------------------------------ queries
+
+    def series(self, name: str) -> TimeSeries:
+        """The recorded channel ``name`` (raises KeyError if absent)."""
+        return self.tracer.get(name)
+
+    def stop(self) -> None:
+        """Stop every sampler this bus scheduled."""
+        for sampler in self._samplers:
+            sampler.stop()

@@ -32,7 +32,8 @@ RESULTS_DIR = GOLDEN_DIR.parents[1] / "results"
 FAST = ("fig01", "fig02", "fig03", "fig04", "fig05", "fig07", "fig08",
         "fig09", "fig10", "fig14")
 #: Paper artifacts that take seconds to minutes (table1/2 ~2.5 min each).
-SLOW = ("fig06", "fig11", "fig12", "fig13", "table1", "table2")
+SLOW = ("fig06", "fig11", "fig12", "fig13", "table1", "table2",
+        "multiflow-fairness")
 
 PAPER_ARTIFACTS = [
     *(pytest.param(name, id=name) for name in FAST),
@@ -44,7 +45,7 @@ PAPER_ARTIFACTS = [
 def test_every_paper_artifact_is_parametrized():
     covered = set(FAST) | set(SLOW)
     expected = {name for name in EXPERIMENTS
-                if name.startswith(("fig", "table"))}
+                if name.startswith(("fig", "table", "multiflow"))}
     assert covered == expected
 
 

@@ -1,0 +1,105 @@
+"""Scenario builder unit tests: wiring, labels, telemetry switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import (
+    CbrFlowSpec,
+    QAFlowSpec,
+    RapFlowSpec,
+    Scenario,
+    ScenarioConfig,
+    TcpFlowSpec,
+)
+from repro.sim.parking_lot import ParkingLotConfig
+from repro.sim.topology import DumbbellConfig
+
+FAST_LINK = DumbbellConfig(bottleneck_bandwidth=60_000.0,
+                           queue_capacity_packets=30)
+
+
+def test_flows_build_in_list_order_with_default_labels():
+    scenario = Scenario(ScenarioConfig(
+        flows=(QAFlowSpec(), RapFlowSpec(), TcpFlowSpec(), CbrFlowSpec()),
+        topology=FAST_LINK, duration=1.0))
+    assert [f.kind for f in scenario.flows] == ["qa", "rap", "tcp", "cbr"]
+    assert [f.label for f in scenario.flows] == ["qa0", "rap1", "tcp2",
+                                                "cbr3"]
+    assert len({f.flow_id for f in scenario.flows}) == 4
+
+
+def test_empty_scenario_is_rejected():
+    with pytest.raises(ValueError, match="at least one flow"):
+        ScenarioConfig(flows=())
+
+
+def test_parking_lot_flow_count_is_validated():
+    with pytest.raises(ValueError, match="exactly 4 flows"):
+        ScenarioConfig(
+            flows=(QAFlowSpec(), TcpFlowSpec()),
+            topology=ParkingLotConfig(n_hops=3))
+
+
+def test_parking_lot_monitors_every_hop():
+    config = ScenarioConfig(
+        flows=(QAFlowSpec(), TcpFlowSpec(), TcpFlowSpec()),
+        topology=ParkingLotConfig(n_hops=2), duration=5.0)
+    scenario = Scenario(config)
+    assert len(scenario.monitors) == 2
+    result = scenario.run()
+    assert len(result.link_utilization) == 2
+    assert result.utilization > 0
+
+
+def test_flow_randomness_depends_only_on_slot_and_kind():
+    """Changing one flow's kind must not perturb another flow's draws."""
+    def tcp_start(first_flow):
+        scenario = Scenario(ScenarioConfig(
+            flows=(first_flow, TcpFlowSpec()),
+            topology=FAST_LINK, duration=1.0))
+        return scenario.flows[1].start
+
+    assert tcp_start(QAFlowSpec()) == tcp_start(CbrFlowSpec())
+
+
+def test_stop_time_halts_a_qa_flow():
+    scenario = Scenario(ScenarioConfig(
+        flows=(QAFlowSpec(stop=3.0), TcpFlowSpec(start=0.0)),
+        topology=FAST_LINK, duration=10.0))
+    result = scenario.run()
+    qa, tcp = result.flows
+    assert qa.mean_rate < tcp.mean_rate
+
+
+def test_telemetry_off_preserves_packet_fates():
+    """The bus is observation only: disabling it changes no delivery."""
+    def delivered(telemetry: bool):
+        scenario = Scenario(ScenarioConfig(
+            flows=(QAFlowSpec(), QAFlowSpec()),
+            topology=FAST_LINK, duration=8.0, telemetry=telemetry))
+        return [f.bytes_delivered for f in scenario.run().flows]
+
+    assert delivered(True) == delivered(False)
+
+
+def test_telemetry_off_records_nothing_but_keeps_metrics():
+    scenario = Scenario(ScenarioConfig(
+        flows=(QAFlowSpec(),), topology=FAST_LINK,
+        duration=5.0, telemetry=False))
+    result = scenario.run()
+    flow = result.flows[0]
+    assert flow.bytes_delivered > 0
+    assert flow.mean_layers() is None
+    assert flow.session is not None
+    assert "mean_layers" not in flow.session.summary()
+
+
+def test_summary_lists_every_flow_rate():
+    scenario = Scenario(ScenarioConfig(
+        flows=(QAFlowSpec(label="video"), TcpFlowSpec(label="web")),
+        topology=FAST_LINK, duration=5.0))
+    summary = scenario.run().summary()
+    assert summary["n_flows"] == 2
+    assert "rate_video" in summary and "rate_web" in summary
+    assert 0.0 < summary["fairness"] <= 1.0

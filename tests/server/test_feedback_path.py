@@ -1,0 +1,103 @@
+"""Feedback-path tests: the server's receiver-buffer estimate.
+
+The adapter never sees the client's buffers directly — it reconstructs
+them from the feedback mode: ``"ack"`` credits bytes when the ACK
+returns, ``"send"`` credits at transmission and debits on detected loss,
+``"oracle"`` credits at transmission and ignores losses entirely. These
+tests run the real packet path and compare the estimate against the
+client's actual buffer occupancy, sample by sample.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QAConfig
+from repro.server.session import StreamingSession
+from repro.sim.topology import Dumbbell, DumbbellConfig
+
+MAX_LAYERS = 4
+PACKET = 500
+
+
+def run_session(sim, feedback: str, duration: float = 30.0):
+    """One QA session alone on a 40 KB/s dumbbell (losses self-induced)."""
+    net = Dumbbell(sim, DumbbellConfig(
+        n_pairs=1, bottleneck_bandwidth=40_000,
+        queue_capacity_packets=30))
+    config = QAConfig(layer_rate=8_000.0, max_layers=MAX_LAYERS, k_max=2,
+                      packet_size=PACKET, feedback=feedback)
+    session = StreamingSession(sim, *net.pair(0), config)
+    sim.run(until=duration)
+    return session
+
+
+def estimate_gaps(session) -> list[float]:
+    """Per-sample (estimate - actual) over all layers' buffers."""
+    tracer = session.tracer
+    actual = [tracer.get(f"buffer_L{i}") for i in range(MAX_LAYERS)]
+    estimate = [tracer.get(f"buffer_est_L{i}") for i in range(MAX_LAYERS)]
+    gaps = []
+    for sample in range(len(actual[0].times)):
+        act = sum(series.values[sample] for series in actual)
+        est = sum(series.values[sample] for series in estimate)
+        gaps.append(est - act)
+    return gaps
+
+
+class TestAckFeedback:
+    def test_estimate_lags_by_at_most_one_rtt_of_deliveries(self, sim):
+        """ACK crediting trails reality by the ACK's return trip: the
+        shortfall can never exceed what was delivered in the last RTT."""
+        session = run_session(sim, "ack")
+        gaps = estimate_gaps(session)
+        peak_rate = max(session.tracer.get("rate").values)
+        one_rtt_of_deliveries = peak_rate * session.server.rap.srtt
+        worst_lag = -min(gaps)
+        assert worst_lag <= one_rtt_of_deliveries + PACKET
+
+    def test_estimate_never_runs_ahead_of_the_receiver(self, sim):
+        """ACK mode only credits confirmed bytes, so any overshoot is
+        bounded by server/client consumption-clock skew (sub-packet)."""
+        session = run_session(sim, "ack")
+        assert max(estimate_gaps(session)) <= PACKET
+
+
+class TestModeOrdering:
+    def test_oracle_is_the_optimistic_upper_bound(self, sim):
+        """Oracle ignores losses: its estimate only ever runs ahead, and
+        by far more than the ACK path's worst-case lead."""
+        oracle = run_session(sim, "oracle")
+        oracle_gaps = estimate_gaps(oracle)
+        assert min(oracle_gaps) >= -PACKET
+        assert max(oracle_gaps) > MAX_LAYERS * PACKET
+
+    def test_ack_tracks_tighter_than_send_and_oracle(self, sim):
+        """The |estimate - actual| envelope orders ack < send < oracle."""
+        envelope = {}
+        for mode in ("ack", "send", "oracle"):
+            sim_mode = type(sim)()
+            session = run_session(sim_mode, mode)
+            envelope[mode] = max(abs(g) for g in estimate_gaps(session))
+        assert envelope["ack"] < envelope["send"] < envelope["oracle"]
+
+
+def test_summary_degrades_without_telemetry(sim):
+    """Headless sessions still summarize transport metrics; the
+    tracer-derived keys are simply absent."""
+    from repro.telemetry import TelemetryBus
+
+    net = Dumbbell(sim, DumbbellConfig(
+        n_pairs=1, bottleneck_bandwidth=40_000,
+        queue_capacity_packets=30))
+    config = QAConfig(layer_rate=8_000.0, max_layers=MAX_LAYERS, k_max=2,
+                      packet_size=PACKET)
+    session = StreamingSession(sim, *net.pair(0), config,
+                               telemetry=TelemetryBus(sim, enabled=False))
+    sim.run(until=10.0)
+    summary = session.result().summary()
+    assert "drops" in summary and "stalls_receiver" in summary
+    assert "mean_layers" not in summary
+    assert "mean_rate" not in summary
+    with pytest.raises(KeyError, match="no traced series"):
+        session.tracer.get("rate")

@@ -112,15 +112,36 @@ class TestPeriodicSampler:
 
 
 class TestTracer:
-    def test_get_creates_series(self):
+    def test_get_returns_recorded_series(self):
         tracer = Tracer()
+        tracer.record("rate", 0.0, 1.0)
         ts = tracer.get("rate")
         assert ts is tracer.get("rate")
 
-    def test_record_shortcut(self):
+    def test_get_missing_raises_contextual_keyerror(self):
+        tracer = Tracer()
+        tracer.record("rate", 0.0, 1.0)
+        tracer.record("layers", 0.0, 2.0)
+        with pytest.raises(KeyError) as exc:
+            tracer.get("ratee")
+        message = str(exc.value)
+        assert "ratee" in message
+        assert "layers, rate" in message
+
+    def test_get_missing_on_empty_tracer(self):
+        with pytest.raises(KeyError, match="<none>"):
+            Tracer().get("rate")
+
+    def test_record_creates_series(self):
         tracer = Tracer()
         tracer.record("x", 1.0, 2.0)
         assert tracer.get("x").values == [2.0]
+
+    def test_to_csv_unknown_name_raises_contextual_keyerror(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 1.0)
+        with pytest.raises(KeyError, match="available: a"):
+            tracer.to_csv(names=["zz"])
 
     def test_event_log(self):
         tracer = Tracer()

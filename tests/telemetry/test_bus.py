@@ -1,0 +1,104 @@
+"""Unit tests for the telemetry bus and its probes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.link import Link
+from repro.sim.queues import DropTailQueue
+from repro.telemetry import Probe, QueueOccupancyProbe, TelemetryBus
+
+
+class CountingProbe(Probe):
+    """Records how often it was sampled and at what times."""
+
+    def __init__(self, period: float = 0.1) -> None:
+        super().__init__(period)
+        self.times: list[float] = []
+
+    def sample(self, now: float) -> None:
+        self.times.append(now)
+        assert self.bus is not None
+        self.bus.record("count", now, float(len(self.times)))
+
+
+class TestEnabledBus:
+    def test_subscribe_schedules_a_sampler(self, sim):
+        bus = TelemetryBus(sim)
+        probe = CountingProbe(period=0.1)
+        sampler = bus.subscribe(probe)
+        assert sampler is not None
+        sim.run(until=1.0)
+        assert len(probe.times) == 11  # t = 0.0, 0.1, ..., 1.0
+        assert bus.series("count").values[-1] == 11
+
+    def test_decimate_stretches_the_period(self, sim):
+        bus = TelemetryBus(sim, decimate=5)
+        probe = CountingProbe(period=0.1)
+        bus.subscribe(probe)
+        sim.run(until=1.0)
+        assert len(probe.times) == 3  # t = 0.0, 0.5, 1.0
+        assert probe.dt == pytest.approx(0.5)
+
+    def test_event_hook_logs_into_the_tracer(self, sim):
+        bus = TelemetryBus(sim)
+        hook = bus.event_hook()
+        assert hook is not None
+        hook(1.5, "add", {"layer": 2})
+        assert bus.tracer.events == [(1.5, "add", {"layer": 2})]
+
+    def test_series_raises_for_unknown_channel(self, sim):
+        bus = TelemetryBus(sim)
+        with pytest.raises(KeyError, match="no traced series"):
+            bus.series("nope")
+
+    def test_stop_halts_sampling(self, sim):
+        bus = TelemetryBus(sim)
+        probe = CountingProbe(period=0.1)
+        bus.subscribe(probe)
+        sim.run(until=0.5)
+        bus.stop()
+        seen = len(probe.times)
+        sim.run(until=2.0)
+        assert len(probe.times) == seen
+
+
+class TestDisabledBus:
+    def test_subscribe_registers_but_never_samples(self, sim):
+        bus = TelemetryBus(sim, enabled=False)
+        probe = CountingProbe()
+        assert bus.subscribe(probe) is None
+        assert bus.probes == [probe]
+        sim.run(until=2.0)
+        assert probe.times == []
+        assert sim.events_processed == 0
+
+    def test_record_and_log_event_are_dropped(self, sim):
+        bus = TelemetryBus(sim, enabled=False)
+        bus.record("rate", 0.0, 1.0)
+        bus.log_event(0.0, "add", layer=1)
+        assert bus.tracer.series == {}
+        assert bus.tracer.events == []
+
+    def test_event_hook_is_none(self, sim):
+        assert TelemetryBus(sim, enabled=False).event_hook() is None
+
+
+def test_decimate_must_be_positive(sim):
+    with pytest.raises(ValueError, match="decimate"):
+        TelemetryBus(sim, decimate=0)
+
+
+def test_probe_period_must_be_positive():
+    with pytest.raises(ValueError, match="period"):
+        Probe(period=0.0)
+
+
+def test_queue_occupancy_probe_channels(sim):
+    link = Link(sim, bandwidth=10_000, delay=0.01,
+                queue=DropTailQueue(4), name="l")
+    bus = TelemetryBus(sim)
+    bus.subscribe(QueueOccupancyProbe(link, name="hop0", period=0.1))
+    sim.run(until=0.35)
+    for channel in ("hop0_qlen", "hop0_qbytes", "hop0_drops"):
+        assert len(bus.series(channel).times) == 4
