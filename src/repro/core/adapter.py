@@ -43,10 +43,17 @@ from repro.core.draining import DrainingPlanner, DrainPlan
 from repro.core.filling import FillingPolicy
 from repro.core.metrics import DropCause, DropEvent, QualityMetrics
 from repro.core.states import StateSequence
+from repro.core.units import (
+    Bytes,
+    ByteCount,
+    BytesPerSec,
+    BytesPerSec2,
+    Seconds,
+)
 
-Clock = Callable[[], float]
-RateFn = Callable[[], float]
-SlopeFn = Callable[[], float]
+Clock = Callable[[], Seconds]
+RateFn = Callable[[], BytesPerSec]
+SlopeFn = Callable[[], BytesPerSec2]
 EventHook = Callable[[float, str, dict[str, object]], None]
 
 
@@ -59,7 +66,7 @@ class QualityAdapter:
         now_fn: Clock,
         rate_fn: RateFn,
         slope_fn: SlopeFn,
-        start_time: float = 0.0,
+        start_time: Seconds = 0.0,
         on_event: Optional[EventHook] = None,
     ) -> None:
         self.config = config
@@ -75,24 +82,24 @@ class QualityAdapter:
 
         self.active_layers = 0
         self.playout_started = False
-        self.playout_start_time = start_time + config.startup_delay
-        self.average_rate = 0.0
-        self.sent_bytes_per_layer = [0.0] * config.max_layers
-        self._shortfall_debt = [0.0] * config.max_layers
-        self._inflight = [0.0] * config.max_layers
-        self._slope_avg: Optional[float] = None
-        self._plan_shortfall_debt = 0.0
-        self._delivered_accum = 0.0
-        self._last_average_update = start_time
+        self.playout_start_time: Seconds = start_time + config.startup_delay
+        self.average_rate: BytesPerSec = 0.0
+        self.sent_bytes_per_layer: list[Bytes] = [0.0] * config.max_layers
+        self._shortfall_debt: list[Bytes] = [0.0] * config.max_layers
+        self._inflight: list[Bytes] = [0.0] * config.max_layers
+        self._slope_avg: Optional[BytesPerSec2] = None
+        self._plan_shortfall_debt: Bytes = 0.0
+        self._delivered_accum: Bytes = 0.0
+        self._last_average_update: Seconds = start_time
         #: Bytes of lost low-layer data owed a retransmission (§1.3).
-        self._retransmit_debt = [0.0] * config.max_layers
-        self.retransmitted_bytes = 0.0
+        self._retransmit_debt: list[Bytes] = [0.0] * config.max_layers
+        self.retransmitted_bytes: Bytes = 0.0
 
-        self._frozen_rate: Optional[float] = None
+        self._frozen_rate: Optional[BytesPerSec] = None
         self._sequence: Optional[StateSequence] = None
         self._plan: Optional[DrainPlan] = None
-        self._plan_until = -1.0
-        self._quota: list[float] = []
+        self._plan_until: Seconds = -1.0
+        self._quota: list[Bytes] = []
 
         self._activate_layer(start_time)  # the base layer is always sent
 
@@ -120,12 +127,12 @@ class QualityAdapter:
         return FillingPolicy(config), DrainingPlanner(config)
 
     @property
-    def consumption(self) -> float:
+    def consumption(self) -> BytesPerSec:
         """Total consumption rate na*C in bytes/s."""
         return self.config.consumption(self.active_layers)
 
     @property
-    def slope(self) -> float:
+    def slope(self) -> BytesPerSec2:
         """Smoothed AIMD slope S used by every buffering decision.
 
         The instantaneous estimate (``P/srtt^2`` for RAP) swings with
@@ -153,7 +160,7 @@ class QualityAdapter:
         if self.on_event is not None:
             self.on_event(self.now_fn(), kind, fields)
 
-    def buffer_levels(self) -> list[float]:
+    def buffer_levels(self) -> list[Bytes]:
         """Per-layer buffered-byte estimates for the active layers."""
         return self.buffers.levels(self.active_layers)
 
@@ -181,7 +188,7 @@ class QualityAdapter:
             self.metrics.record_add(now, layer)
             self._emit("add", layer=layer, active=self.active_layers)
 
-    def _base_protected_bytes(self) -> float:
+    def _base_protected_bytes(self) -> Bytes:
         """Base-layer bytes unusable for recovery (stall-margin + flight)."""
         if self.config.feedback == "ack":
             margin = self.config.base_floor_bytes
@@ -189,7 +196,7 @@ class QualityAdapter:
             margin = self.config.base_floor_bytes + self._inflight[0]
         return min(self.buffers.level(0), margin)
 
-    def _drainable_total(self) -> float:
+    def _drainable_total(self) -> Bytes:
         """Receiver buffering actually available to absorb a deficit."""
         return max(0.0, self.buffers.total(self.active_layers)
                    - self._base_protected_bytes())
@@ -268,7 +275,7 @@ class QualityAdapter:
             self._start_consumption_if_due(layer)
         return {"layer": layer, "active": self.active_layers}
 
-    def on_delivered(self, layer: int, nbytes: int) -> None:
+    def on_delivered(self, layer: int, nbytes: ByteCount) -> None:
         """An ACK confirmed ``nbytes`` of ``layer`` reached the receiver."""
         if layer >= self.config.max_layers:
             return
@@ -281,7 +288,7 @@ class QualityAdapter:
         self.buffers.deliver(layer, nbytes)
         self._start_consumption_if_due(layer)
 
-    def on_lost(self, layer: int, nbytes: int) -> None:
+    def on_lost(self, layer: int, nbytes: ByteCount) -> None:
         """The congestion controller detected the loss of layer data."""
         if layer >= self.config.max_layers:
             return
@@ -333,7 +340,7 @@ class QualityAdapter:
                                                 formulas.EPSILON):
             self.buffers.start_consuming(layer, self.now_fn())
 
-    def on_backoff(self, new_rate: float) -> None:
+    def on_backoff(self, new_rate: BytesPerSec) -> None:
         """The congestion controller halved its rate."""
         now = self.now_fn()
         self._advance_clocks(now)
@@ -376,7 +383,7 @@ class QualityAdapter:
 
     # ----------------------------------------------------------- internals
 
-    def _advance_clocks(self, now: float) -> None:
+    def _advance_clocks(self, now: Seconds) -> None:
         if not self.playout_started and now >= self.playout_start_time:
             self.playout_started = True
             self.metrics.startup_latency = self.config.startup_delay
@@ -405,7 +412,7 @@ class QualityAdapter:
                         for layer in range(1, self.active_layers))):
             self._drop_top_layer(DropCause.UNDERFLOW)
 
-    def _apply_drop_rule(self, rate: float) -> None:
+    def _apply_drop_rule(self, rate: BytesPerSec) -> None:
         while True:
             # Only drainable buffering counts: the base layer's
             # stall-protection margin cannot absorb the deficit.
@@ -418,13 +425,13 @@ class QualityAdapter:
             if self.active_layers <= 1:
                 return
 
-    def _base_reserve(self) -> float:
+    def _base_reserve(self) -> Bytes:
         """Stall-protection bytes the base must hold beyond its targets."""
         if self.config.feedback == "ack":
             return self.config.base_floor_bytes
         return self.config.base_floor_bytes + self._inflight[0]
 
-    def _maybe_add(self, rate: float) -> bool:
+    def _maybe_add(self, rate: BytesPerSec) -> bool:
         if not self.add_drop.can_add(
             rate, self.average_rate, self.active_layers,
             self.buffer_levels(), self.slope,
@@ -434,7 +441,7 @@ class QualityAdapter:
         self._activate_layer(self.now_fn())
         return True
 
-    def safety_levels(self) -> list[float]:
+    def safety_levels(self) -> list[Bytes]:
         """Lower bounds on the receiver's true per-layer buffering.
 
         With send-time crediting, the estimate leads the receiver by the
@@ -447,7 +454,7 @@ class QualityAdapter:
         return [max(0.0, levels[i] - self._inflight[i])
                 for i in range(self.active_layers)]
 
-    def _pick_filling(self, now: float) -> int:
+    def _pick_filling(self, now: Seconds) -> int:
         rate = self.rate_fn()
         # Once playback runs, every active layer needs the maintenance
         # floor: consuming layers so they keep playing, and freshly added
@@ -468,7 +475,7 @@ class QualityAdapter:
         # layer, where buffering is most efficient (section 2.3).
         return 0
 
-    def _ensure_plan(self, now: float) -> None:
+    def _ensure_plan(self, now: Seconds) -> None:
         if self._plan is not None and now < self._plan_until:
             return
         if self._sequence is None or self._frozen_rate is None:
@@ -509,7 +516,7 @@ class QualityAdapter:
         self._plan_until = now + period
         self._quota = list(plan.quotas)
 
-    def _pick_draining(self, now: float) -> int:
+    def _pick_draining(self, now: Seconds) -> int:
         self._ensure_plan(now)
         # Starvation override for the *base* layer only: it must never run
         # dry (stall), whatever the quotas say. Enhancement layers are

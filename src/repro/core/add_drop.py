@@ -30,6 +30,7 @@ from typing import Sequence
 from repro.core import formulas
 from repro.core.config import QAConfig
 from repro.core.states import StateSequence
+from repro.core.units import Bytes, BytesPerSec, BytesPerSec2
 
 
 class AddDropPolicy:
@@ -42,12 +43,12 @@ class AddDropPolicy:
 
     def can_add(
         self,
-        rate: float,
-        average_rate: float,
+        rate: BytesPerSec,
+        average_rate: BytesPerSec,
         active_layers: int,
-        buffers: Sequence[float],
-        slope: float,
-        base_reserve: float = 0.0,
+        buffers: Sequence[Bytes],
+        slope: BytesPerSec2,
+        base_reserve: Bytes = 0.0,
     ) -> bool:
         """Should a new layer be added right now?
 
@@ -108,10 +109,10 @@ class AddDropPolicy:
 
     def layers_after_drop_rule(
         self,
-        rate: float,
-        total_buffer: float,
+        rate: BytesPerSec,
+        total_buffer: Bytes,
         active_layers: int,
-        slope: float,
+        slope: BytesPerSec2,
     ) -> int:
         """Apply the section 2.2 rule; returns the surviving layer count."""
         return formulas.layers_to_keep(

@@ -14,19 +14,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.units import Bytes, BytesPerSec, Seconds
+
 
 @dataclass
 class LayerAccount:
     """Accounting for one layer."""
 
-    delivered: float = 0.0
-    consumed: float = 0.0
+    delivered: Bytes = 0.0
+    consumed: Bytes = 0.0
     active: bool = False
-    consuming_since: Optional[float] = None
-    clock: float = 0.0  # consumption clock position (simulation time)
+    consuming_since: Optional[Seconds] = None
+    clock: Seconds = 0.0  # consumption clock position (simulation time)
 
     @property
-    def level(self) -> float:
+    def level(self) -> Bytes:
         return self.delivered - self.consumed
 
 
@@ -39,7 +41,7 @@ class LayerBufferSet:
     buffered) before its consumption starts -- that is the startup window.
     """
 
-    def __init__(self, layer_rate: float, max_layers: int) -> None:
+    def __init__(self, layer_rate: BytesPerSec, max_layers: int) -> None:
         if layer_rate <= 0:
             raise ValueError("layer_rate must be positive")
         if max_layers < 1:
@@ -50,7 +52,7 @@ class LayerBufferSet:
 
     # ---------------------------------------------------------- lifecycle
 
-    def activate(self, layer: int, now: float) -> None:
+    def activate(self, layer: int, now: Seconds) -> None:
         """Start buffering (and clocking) layer ``layer`` at time ``now``."""
         acct = self._accounts[layer]
         if acct.active:
@@ -58,7 +60,7 @@ class LayerBufferSet:
         acct.active = True
         acct.clock = now
 
-    def start_consuming(self, layer: int, now: float) -> None:
+    def start_consuming(self, layer: int, now: Seconds) -> None:
         """Begin draining ``layer`` at rate C from time ``now``."""
         acct = self._accounts[layer]
         if not acct.active:
@@ -66,7 +68,7 @@ class LayerBufferSet:
         acct.consuming_since = now
         acct.clock = now
 
-    def deactivate(self, layer: int) -> float:
+    def deactivate(self, layer: int) -> Bytes:
         """Stop layer ``layer``; returns the buffered bytes discarded."""
         acct = self._accounts[layer]
         if not acct.active:
@@ -83,7 +85,7 @@ class LayerBufferSet:
 
     # --------------------------------------------------------------- data
 
-    def deliver(self, layer: int, nbytes: float) -> None:
+    def deliver(self, layer: int, nbytes: Bytes) -> None:
         """Record ``nbytes`` of layer data arriving at the receiver."""
         if nbytes < 0:
             raise ValueError("cannot deliver negative bytes")
@@ -92,7 +94,7 @@ class LayerBufferSet:
             return  # data for a dropped layer still plays but isn't tracked
         acct.delivered += nbytes
 
-    def withdraw(self, layer: int, nbytes: float) -> None:
+    def withdraw(self, layer: int, nbytes: Bytes) -> None:
         """Un-credit ``nbytes`` that turned out to be lost in transit.
 
         Used by send-time-crediting estimators when the congestion
@@ -106,7 +108,7 @@ class LayerBufferSet:
             return
         acct.delivered -= nbytes
 
-    def consume_until(self, now: float) -> dict[int, float]:
+    def consume_until(self, now: Seconds) -> dict[int, Bytes]:
         """Advance all consumption clocks to ``now``.
 
         Returns ``{layer: shortfall_bytes}`` for layers that wanted more
@@ -129,7 +131,7 @@ class LayerBufferSet:
                 shortfalls[layer] = want - take
         return shortfalls
 
-    def pause(self, now: float) -> None:
+    def pause(self, now: Seconds) -> None:
         """Advance all clocks to ``now`` without consuming (playback stall)."""
         for acct in self._accounts:
             if acct.active and acct.consuming_since is not None:
@@ -137,23 +139,23 @@ class LayerBufferSet:
 
     # ------------------------------------------------------------ queries
 
-    def level(self, layer: int) -> float:
+    def level(self, layer: int) -> Bytes:
         """Buffered bytes of ``layer`` (clamped at zero)."""
         return max(0.0, self._accounts[layer].level)
 
-    def levels(self, active_layers: int) -> list[float]:
+    def levels(self, active_layers: int) -> list[Bytes]:
         """Base-first buffer levels of the first ``active_layers`` layers."""
         return [self.level(i) for i in range(active_layers)]
 
-    def total(self, active_layers: Optional[int] = None) -> float:
+    def total(self, active_layers: Optional[int] = None) -> Bytes:
         """Sum of buffered bytes over the first ``active_layers`` layers."""
         n = self.max_layers if active_layers is None else active_layers
         return sum(self.level(i) for i in range(n))
 
-    def delivered(self, layer: int) -> float:
+    def delivered(self, layer: int) -> Bytes:
         """Cumulative bytes credited to ``layer``."""
         return self._accounts[layer].delivered
 
-    def consumed(self, layer: int) -> float:
+    def consumed(self, layer: int) -> Bytes:
         """Cumulative bytes the decoder has consumed from ``layer``."""
         return self._accounts[layer].consumed

@@ -10,6 +10,15 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Optional
 
+from repro.core.units import (
+    ByteCount,
+    Bytes,
+    BytesPerSec,
+    BytesPerSec2,
+    Scalar,
+    Seconds,
+)
+
 
 @dataclass
 class QAConfig:
@@ -76,22 +85,22 @@ class QAConfig:
             transmission slots once the target layer is full.
     """
 
-    layer_rate: float = 2500.0
+    layer_rate: BytesPerSec = 2500.0
     max_layers: int = 8
     k_max: int = 2
     add_rule: str = "buffer_only"
     allocator: str = "optimal"
-    packet_size: int = 1000
-    startup_delay: float = 1.0
-    drain_period: float = 0.1
-    maintenance_floor: float = 0.1
-    base_floor: float = 1.2
-    underflow_debt_packets: float = 6.0
-    slope_override: Optional[float] = None
-    average_bandwidth_gain: float = 0.05
+    packet_size: ByteCount = 1000
+    startup_delay: Seconds = 1.0
+    drain_period: Seconds = 0.1
+    maintenance_floor: Seconds = 0.1
+    base_floor: Seconds = 1.2
+    underflow_debt_packets: Scalar = 6.0
+    slope_override: Optional[BytesPerSec2] = None
+    average_bandwidth_gain: Scalar = 0.05
     feedback: str = "send"
     retransmit_layers: int = 0
-    max_buffer_seconds: Optional[float] = None
+    max_buffer_seconds: Optional[Seconds] = None
 
     VALID_ADD_RULES = ("buffer_only", "buffer_and_rate", "average_bandwidth")
     VALID_ALLOCATORS = ("optimal", "equal_share", "base_first")
@@ -131,15 +140,15 @@ class QAConfig:
         return replace(self, **changes)
 
     @property
-    def floor_bytes(self) -> float:
+    def floor_bytes(self) -> Bytes:
         """The per-layer maintenance floor expressed in bytes."""
         return self.maintenance_floor * self.layer_rate
 
     @property
-    def base_floor_bytes(self) -> float:
+    def base_floor_bytes(self) -> Bytes:
         """The base layer's stall-protection margin in bytes."""
         return self.base_floor * self.layer_rate
 
-    def consumption(self, active_layers: int) -> float:
+    def consumption(self, active_layers: int) -> BytesPerSec:
         """Total consumption rate ``na * C`` in bytes/s."""
         return active_layers * self.layer_rate

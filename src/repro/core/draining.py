@@ -28,6 +28,7 @@ from typing import Sequence
 from repro.core import formulas
 from repro.core.config import QAConfig
 from repro.core.states import StateSequence
+from repro.core.units import Bytes, BytesPerSec, Seconds
 
 
 @dataclass
@@ -44,13 +45,13 @@ class DrainPlan:
             whole path).
     """
 
-    drain: list[float]
-    quotas: list[float]
-    shortfall: float
+    drain: list[Bytes]
+    quotas: list[Bytes]
+    shortfall: Bytes
     state_index: int
 
     @property
-    def total_drain(self) -> float:
+    def total_drain(self) -> Bytes:
         return sum(self.drain)
 
 
@@ -62,12 +63,12 @@ class DrainingPlanner:
 
     def plan(
         self,
-        rate: float,
-        buffers: Sequence[float],
+        rate: BytesPerSec,
+        buffers: Sequence[Bytes],
         active_layers: int,
-        period: float,
+        period: Seconds,
         sequence: StateSequence,
-        base_protection: float = 0.0,
+        base_protection: Bytes = 0.0,
     ) -> DrainPlan:
         """Allocate the coming period's deficit across layer buffers.
 

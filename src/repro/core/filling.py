@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 from repro.core import formulas
 from repro.core.config import QAConfig
 from repro.core.formulas import SCENARIO_ONE, SCENARIO_TWO
+from repro.core.units import Bytes, BytesPerSec, BytesPerSec2
 
 #: Runaway guard for the (normally small) scenario-2 search.
 _MAX_K_SEARCH = 10_000
@@ -83,8 +84,9 @@ class FillingPolicy:
         ] = {}
 
     def _shares(
-        self, rate: float, na: int, slope: float, k: int, scenario: int
-    ) -> tuple[float, ...]:
+        self, rate: BytesPerSec, na: int, slope: BytesPerSec2, k: int,
+        scenario: int
+    ) -> tuple[Bytes, ...]:
         """Memoized :func:`formulas.scenario_shares` (layer_rate is fixed)."""
         key = (rate, na, slope, k, scenario)
         cached = self._shares_cache.get(key)
@@ -98,12 +100,12 @@ class FillingPolicy:
 
     def choose(
         self,
-        rate: float,
-        buffers: Sequence[float],
+        rate: BytesPerSec,
+        buffers: Sequence[Bytes],
         active_layers: int,
-        slope: float,
+        slope: BytesPerSec2,
         needs_floor: Optional[Sequence[bool]] = None,
-        safety_levels: Optional[Sequence[float]] = None,
+        safety_levels: Optional[Sequence[Bytes]] = None,
     ) -> FillingDecision:
         """Pick the layer the next packet should carry.
 
@@ -204,8 +206,8 @@ class FillingPolicy:
 
     @staticmethod
     def _clamp_shares(
-        raw: Sequence[float], caps: Sequence[float]
-    ) -> tuple[float, ...]:
+        raw: Sequence[Bytes], caps: Sequence[Bytes]
+    ) -> tuple[Bytes, ...]:
         """Clamp ``raw`` element-wise at ``caps``, carrying any excess to
         higher layers; leftover that no cap can hold lands on the top
         layer (total protection is preserved either way)."""
@@ -222,13 +224,13 @@ class FillingPolicy:
 
     def _first_unsatisfied(
         self,
-        rate: float,
-        consumption: float,
-        slope: float,
-        total_buffer: float,
+        rate: BytesPerSec,
+        consumption: BytesPerSec,
+        slope: BytesPerSec2,
+        total_buffer: Bytes,
         scenario: int,
         cap: Optional[int],
-    ) -> tuple[int, float]:
+    ) -> tuple[int, Bytes]:
         """Smallest k whose total requirement exceeds the buffering.
 
         Mirrors the pseudocode's WHILE loops: returns ``(k, requirement)``;

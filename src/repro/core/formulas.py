@@ -35,6 +35,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.core.units import Bytes, BytesPerSec, BytesPerSec2, Seconds
+
 #: Tolerance for float comparisons on byte quantities.
 EPSILON = 1e-9
 
@@ -42,7 +44,7 @@ SCENARIO_ONE = 1
 SCENARIO_TWO = 2
 
 
-def triangle_area(deficit: float, slope: float) -> float:
+def triangle_area(deficit: BytesPerSec, slope: BytesPerSec2) -> Bytes:
     """Bytes drained while a deficit ``deficit`` closes at slope ``slope``.
 
     This is equation (1) of the paper: ``A = L_ce^2 / (2S)``. Non-positive
@@ -55,14 +57,16 @@ def triangle_area(deficit: float, slope: float) -> float:
     return deficit * deficit / (2.0 * slope)
 
 
-def deficit_after_backoffs(rate: float, consumption: float, k: int) -> float:
+def deficit_after_backoffs(rate: BytesPerSec, consumption: BytesPerSec,
+                           k: int) -> BytesPerSec:
     """Consumption minus the rate left after ``k`` immediate halvings."""
     if k < 0:
         raise ValueError("k cannot be negative")
     return consumption - rate / (2.0 ** k)
 
 
-def min_buffering_layers(deficit: float, layer_rate: float) -> int:
+def min_buffering_layers(deficit: BytesPerSec,
+                         layer_rate: BytesPerSec) -> int:
     """``nb``: minimum number of layers that must hold buffering.
 
     A single layer can supply at most C of the deficit at any instant, so
@@ -76,8 +80,8 @@ def min_buffering_layers(deficit: float, layer_rate: float) -> int:
     return math.ceil(deficit / layer_rate - EPSILON)
 
 
-def band_shares(deficit: float, layer_rate: float,
-                slope: float) -> tuple[float, ...]:
+def band_shares(deficit: BytesPerSec, layer_rate: BytesPerSec,
+                slope: BytesPerSec2) -> tuple[Bytes, ...]:
     """Optimal per-layer buffer shares for one deficit triangle (Figure 4).
 
     Slices the triangle into horizontal bands of height ``layer_rate``.
@@ -98,8 +102,8 @@ def band_shares(deficit: float, layer_rate: float,
     return tuple(shares)
 
 
-def one_backoff_requirement(rate: float, consumption: float,
-                            slope: float) -> float:
+def one_backoff_requirement(rate: BytesPerSec, consumption: BytesPerSec,
+                            slope: BytesPerSec2) -> Bytes:
     """Buffering needed to survive one backoff from ``rate`` (A.1).
 
     The adding condition C2 of section 2.1 evaluates this with
@@ -108,8 +112,9 @@ def one_backoff_requirement(rate: float, consumption: float,
     return triangle_area(consumption - rate / 2.0, slope)
 
 
-def draining_recovery_requirement(rate: float, consumption: float,
-                                  slope: float) -> float:
+def draining_recovery_requirement(rate: BytesPerSec,
+                                  consumption: BytesPerSec,
+                                  slope: BytesPerSec2) -> Bytes:
     """Buffering needed to finish the current draining phase (A.2).
 
     During draining the rate is already below consumption; the remaining
@@ -118,8 +123,9 @@ def draining_recovery_requirement(rate: float, consumption: float,
     return triangle_area(consumption - rate, slope)
 
 
-def layers_to_keep(rate: float, total_buffer: float, layer_rate: float,
-                   slope: float, active_layers: int) -> int:
+def layers_to_keep(rate: BytesPerSec, total_buffer: Bytes,
+                   layer_rate: BytesPerSec, slope: BytesPerSec2,
+                   active_layers: int) -> int:
     """The dropping mechanism of section 2.2.
 
     Iteratively drop the top layer while the buffered data cannot cover
@@ -138,7 +144,7 @@ def layers_to_keep(rate: float, total_buffer: float, layer_rate: float,
     return na
 
 
-def k1_backoffs(rate: float, consumption: float) -> int:
+def k1_backoffs(rate: BytesPerSec, consumption: BytesPerSec) -> int:
     """Minimum backoffs to push ``rate`` below ``consumption`` (A.4).
 
     At least one backoff always happens in a backoff scenario, so the
@@ -152,8 +158,8 @@ def k1_backoffs(rate: float, consumption: float) -> int:
     return k1
 
 
-def scenario_total(rate: float, consumption: float, slope: float,
-                   k: int, scenario: int) -> float:
+def scenario_total(rate: BytesPerSec, consumption: BytesPerSec,
+                   slope: BytesPerSec2, k: int, scenario: int) -> Bytes:
     """``TotalBufRequired`` of the section 4.1 pseudocode (A.4).
 
     Scenario 1: ``k`` immediate backoffs, one big triangle.
@@ -178,9 +184,9 @@ def scenario_total(rate: float, consumption: float, slope: float,
     raise ValueError(f"scenario must be 1 or 2, got {scenario}")
 
 
-def scenario_shares(rate: float, layer_rate: float, active_layers: int,
-                    slope: float, k: int,
-                    scenario: int) -> tuple[float, ...]:
+def scenario_shares(rate: BytesPerSec, layer_rate: BytesPerSec,
+                    active_layers: int, slope: BytesPerSec2, k: int,
+                    scenario: int) -> tuple[Bytes, ...]:
     """``BufRequired`` for every layer at once (A.5), padded to ``na``.
 
     Returns a base-first vector of length ``active_layers``; entries
@@ -219,13 +225,13 @@ def scenario_shares(rate: float, layer_rate: float, active_layers: int,
     return tuple(padded)
 
 
-def drain_duration(deficit: float, slope: float) -> float:
+def drain_duration(deficit: BytesPerSec, slope: BytesPerSec2) -> Seconds:
     """Seconds until the rate climbs back up across the consumption rate."""
     if slope <= 0:
         raise ValueError("slope must be positive")
     return max(0.0, deficit / slope)
 
 
-def share_sum(shares: Sequence[float]) -> float:
+def share_sum(shares: Sequence[Bytes]) -> Bytes:
     """Float-stable sum for share vectors (tests compare against totals)."""
     return math.fsum(shares)

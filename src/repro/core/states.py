@@ -30,6 +30,7 @@ from typing import Iterator, Sequence
 
 from repro.core import formulas
 from repro.core.formulas import SCENARIO_ONE, SCENARIO_TWO
+from repro.core.units import Bytes, BytesPerSec, BytesPerSec2
 
 
 @dataclass(frozen=True)
@@ -48,12 +49,12 @@ class BufferState:
 
     scenario: int
     k: int
-    total: float
-    shares: tuple[float, ...]
-    effective_shares: tuple[float, ...] = ()
+    total: Bytes
+    shares: tuple[Bytes, ...]
+    effective_shares: tuple[Bytes, ...] = ()
 
     @property
-    def effective_total(self) -> float:
+    def effective_total(self) -> Bytes:
         return formulas.share_sum(self.effective_shares or self.shares)
 
     def label(self) -> str:
@@ -77,8 +78,9 @@ class StateSequence:
     element-wise maxima, so they are monotone along the sequence.
     """
 
-    def __init__(self, rate: float, layer_rate: float, active_layers: int,
-                 slope: float, k_max: int) -> None:
+    def __init__(self, rate: BytesPerSec, layer_rate: BytesPerSec,
+                 active_layers: int, slope: BytesPerSec2,
+                 k_max: int) -> None:
         if k_max < 1:
             raise ValueError("k_max must be at least 1")
         if active_layers < 1:
@@ -130,13 +132,13 @@ class StateSequence:
         return self.states[index]
 
     @property
-    def final_targets(self) -> tuple[float, ...]:
+    def final_targets(self) -> tuple[Bytes, ...]:
         """Per-layer targets whose satisfaction allows adding a layer."""
         if not self.states:
             return tuple([0.0] * self.active_layers)
         return self.states[-1].effective_shares
 
-    def position(self, buffers: Sequence[float]) -> int:
+    def position(self, buffers: Sequence[Bytes]) -> int:
         """Index of the last state fully satisfied by ``buffers``.
 
         A state is satisfied when every layer holds at least its effective
@@ -153,7 +155,7 @@ class StateSequence:
                 break
         return pos
 
-    def survivable_position(self, total_buffer: float) -> int:
+    def survivable_position(self, total_buffer: Bytes) -> int:
         """Index of the largest state whose *total* fits in ``total_buffer``.
 
         The draining planner uses totals (not per-layer shares) to decide

@@ -1,30 +1,84 @@
-"""Unit helpers.
+"""Unit helpers and unit-bearing type aliases.
 
 Internally everything is **bytes** and **bytes per second** (the paper's
-plots use KB/s). These helpers exist so experiment configs can be written
-in the paper's units without sprinkling magic constants.
+plots use KB/s). The conversion helpers exist so experiment configs can be
+written in the paper's units without sprinkling magic constants.
+
+The ``Annotated`` aliases below give the core QA math machine-checkable
+dimensions. They are erased at runtime (``Bytes`` *is* ``float`` as far as
+the interpreter and mypy are concerned), but ``repro-lint``'s RL006
+dimensional analysis reads the :class:`Unit` markers straight from this
+module's AST and propagates them through the arithmetic of
+:mod:`repro.core.formulas` and its callers — so swapping a slope for a
+rate fails the build instead of silently corrupting a buffer target.
+
+Mapping to the paper's symbols (see docs/MECHANISM.md):
+
+=================  =====================  ==========================
+alias              dimension              paper symbol / use
+=================  =====================  ==========================
+``Bytes``          B                      buffer levels, shares, areas
+``ByteCount``      B (integral)           packet sizes
+``Seconds``        s                      periods, horizons, ``T_i``
+``BytesPerSec``    B/s                    ``C``, ``R``, ``na*C``
+``BytesPerSec2``   B/s^2                  the AIMD slope ``S``
+``Scalar``         1                      ratios, gains, counts
+=================  =====================  ==========================
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Annotated
+
 KILOBYTE = 1000  # the paper uses decimal KB/s axes
 
 
-def kbps_to_bytes(kilobits_per_second: float) -> float:
+@dataclass(frozen=True)
+class Unit:
+    """Dimension marker carried by the ``Annotated`` aliases below.
+
+    ``data`` and ``time`` are the exponents of the two base dimensions
+    (bytes and seconds): ``Unit(data=1, time=-2)`` reads "bytes per
+    second squared". Markers never exist at runtime in checked code —
+    they are metadata for ``repro-lint``'s RL006 rule, which parses this
+    module rather than importing it, so the table here is the single
+    source of truth.
+    """
+
+    data: int = 0
+    time: int = 0
+
+
+#: Buffered data, per-layer shares, triangle areas (B).
+Bytes = Annotated[float, Unit(data=1)]
+#: Byte quantities that are inherently integral (packet sizes).
+ByteCount = Annotated[int, Unit(data=1)]
+#: Durations, periods, backoff horizons (s).
+Seconds = Annotated[float, Unit(time=1)]
+#: Rates: per-layer consumption ``C``, transmission ``R`` (B/s).
+BytesPerSec = Annotated[float, Unit(data=1, time=-1)]
+#: The AIMD linear-increase slope ``S`` (B/s^2).
+BytesPerSec2 = Annotated[float, Unit(data=1, time=-2)]
+#: Explicitly dimensionless quantities (ratios, gains, EWMA weights).
+Scalar = Annotated[float, Unit()]
+
+
+def kbps_to_bytes(kilobits_per_second: float) -> BytesPerSec:
     """Kilobits/s (link speeds, e.g. '800 Kb/s bottleneck') to bytes/s."""
     return kilobits_per_second * 1000.0 / 8.0
 
 
-def kBps_to_bytes(kilobytes_per_second: float) -> float:
+def kBps_to_bytes(kilobytes_per_second: float) -> BytesPerSec:
     """Kilobytes/s (the paper's rate axes) to bytes/s."""
     return kilobytes_per_second * KILOBYTE
 
 
-def bytes_to_kBps(bytes_per_second: float) -> float:
+def bytes_to_kBps(bytes_per_second: BytesPerSec) -> float:
     """Bytes/s to the paper's KB/s axis units."""
     return bytes_per_second / KILOBYTE
 
 
-def ms(milliseconds: float) -> float:
+def ms(milliseconds: float) -> Seconds:
     """Milliseconds to seconds."""
     return milliseconds / 1000.0

@@ -1,0 +1,29 @@
+"""Whole-program analysis layer for repro-lint.
+
+``repro.lint.flow`` gives rules a project-wide view that the per-file
+visitor model cannot: dotted module names, the project-internal import
+graph, per-module symbol tables with function/constructor summaries, and
+an intraprocedural dataflow engine over a small abstract domain
+(dimensions of the QA math, container shapes, project classes).
+
+Rules that need these facts subclass
+:class:`repro.lint.rules.base.FlowRule` and receive one shared
+:class:`~repro.lint.flow.project.Project` per lint run.
+"""
+
+from repro.lint.flow.dataflow import FunctionAnalysis, analyze_module
+from repro.lint.flow.project import ModuleInfo, Project
+from repro.lint.flow.symbols import ModuleSymbols, TypeRef
+from repro.lint.flow.units import Dim, UNIT_ALIASES, UNITS_MODULE
+
+__all__ = [
+    "Dim",
+    "FunctionAnalysis",
+    "ModuleInfo",
+    "ModuleSymbols",
+    "Project",
+    "TypeRef",
+    "UNIT_ALIASES",
+    "UNITS_MODULE",
+    "analyze_module",
+]

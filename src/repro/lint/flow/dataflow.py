@@ -1,0 +1,936 @@
+"""Intraprocedural dataflow over a small abstract domain.
+
+The engine walks one function at a time, mapping local names to abstract
+values (:class:`~repro.lint.flow.symbols.TypeRef` plus a few
+dataflow-only kinds) and propagating dimensions through ``+ - * / **``,
+``sqrt``, ``min``/``max``, comparisons, calls, and container shapes.
+
+The domain is deliberately coarse and the checks one-sided: a fact is
+only reported when *both* sides of an operation carry a known dimension
+and the dimensions disagree. Literals are wildcards for additive
+operations and comparisons (``rate > 0`` is fine) but dimensionless
+factors for multiplicative ones (``2 * slope`` keeps ``B/s^2``);
+anything unannotated stays unknown and unifies with everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.lint.flow.project import Project
+from repro.lint.flow.symbols import ANY, ClassInfo, FunctionInfo, Param, TypeRef
+from repro.lint.flow.units import DIMENSIONLESS, Dim
+
+LIT = TypeRef("lit")
+BOOL = TypeRef("num", dim=DIMENSIONLESS)
+
+_ADDITIVE_OPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+}
+_COMPARE_OPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+_PASSTHROUGH_BUILTINS = frozenset({"abs", "float", "int", "round"})
+_SUMMING_BUILTINS = frozenset({"sum"})
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    node: ast.AST
+    message: str
+
+
+def _render(val: TypeRef) -> str:
+    if val.kind == "num" and val.dim is not None:
+        return val.dim.render()
+    if val.kind == "lit":
+        return "literal"
+    return "?"
+
+
+def unify(a: TypeRef, b: TypeRef) -> TypeRef:
+    """Join two abstract values without reporting anything."""
+    if a is b:
+        return a
+    kinds = (a.kind, b.kind)
+    if kinds == ("lit", "lit"):
+        return LIT
+    if a.kind == "num" and b.kind == "lit":
+        return a
+    if a.kind == "lit" and b.kind == "num":
+        return b
+    if kinds == ("num", "num"):
+        return a if a.dim == b.dim else ANY
+    if kinds == ("seq", "seq"):
+        return TypeRef("seq", elem=unify(a.elem or ANY, b.elem or ANY))
+    if kinds == ("tup", "tup") and len(a.elems) == len(b.elems):
+        return TypeRef(
+            "tup",
+            elems=tuple(unify(x, y) for x, y in zip(a.elems, b.elems)),
+        )
+    if a.kind == "tup" and b.kind == "seq":
+        return TypeRef("seq", elem=unify(_tuple_elem(a), b.elem or ANY))
+    if a.kind == "seq" and b.kind == "tup":
+        return TypeRef("seq", elem=unify(a.elem or ANY, _tuple_elem(b)))
+    if kinds == ("map", "map"):
+        return TypeRef("map", elem=unify(a.elem or ANY, b.elem or ANY))
+    if kinds == ("cls", "cls") and a.qualname == b.qualname:
+        return a
+    return ANY
+
+
+def _tuple_elem(val: TypeRef) -> TypeRef:
+    elem = ANY
+    first = True
+    for part in val.elems:
+        elem = part if first else unify(elem, part)
+        first = False
+    return elem
+
+
+def elem_of(val: TypeRef) -> TypeRef:
+    """Abstract element type when iterating ``val``."""
+    if val.kind == "seq":
+        return val.elem or ANY
+    if val.kind == "tup":
+        return _tuple_elem(val)
+    return ANY
+
+
+class FunctionAnalysis:
+    """Infer dimensions through one function body, collecting mismatches."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: str,
+        func: FunctionInfo,
+        cls: Optional[ClassInfo] = None,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.func = func
+        self.cls = cls
+        self.problems: list[Mismatch] = []
+
+    # ------------------------------------------------------------- driver
+
+    def run(self) -> list[Mismatch]:
+        env = self._initial_env()
+        self.exec_block(self.func.node.body, env)
+        return self.problems
+
+    def _initial_env(self) -> dict[str, TypeRef]:
+        env: dict[str, TypeRef] = {}
+        params = self.func.params
+        if (
+            self.cls is not None
+            and not self.func.is_staticmethod
+            and params
+            and params[0].name in ("self", "cls")
+        ):
+            if params[0].name == "self":
+                env["self"] = TypeRef("cls", qualname=self.cls.qualname)
+            else:
+                env["cls"] = ANY
+            params = params[1:]
+        for param in params:
+            env[param.name] = self._ann(param.annotation)
+        args = self.func.node.args
+        if args.vararg is not None:
+            env[args.vararg.arg] = TypeRef("seq", elem=ANY)
+        if args.kwarg is not None:
+            env[args.kwarg.arg] = TypeRef("map", elem=ANY)
+        return env
+
+    def _ann(self, node: Optional[ast.expr]) -> TypeRef:
+        return self.project.resolve_annotation(self.module, node)
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.problems.append(Mismatch(node, message))
+
+    # ----------------------------------------------------------- checking
+
+    def check_assignable(
+        self, node: ast.AST, actual: TypeRef, expected: TypeRef, what: str
+    ) -> None:
+        """Flag a definite dimension conflict between value and slot."""
+        if expected.kind == "num" and actual.kind == "num":
+            if expected.dim != actual.dim:
+                self._flag(
+                    node,
+                    f"{what} expects {_render(expected)}, "
+                    f"got {_render(actual)}",
+                )
+            return
+        if expected.kind == "seq" and actual.kind in ("seq", "tup"):
+            self.check_assignable(
+                node,
+                elem_of(actual),
+                expected.elem or ANY,
+                f"element of {what}",
+            )
+            return
+        if expected.kind == "tup" and actual.kind == "tup":
+            if len(expected.elems) == len(actual.elems):
+                for exp, act in zip(expected.elems, actual.elems):
+                    self.check_assignable(node, act, exp, f"element of {what}")
+
+    def _additive(
+        self, node: ast.AST, op: str, left: TypeRef, right: TypeRef
+    ) -> TypeRef:
+        """Check and join operands of ``+ - < <= > >= == != min max``."""
+        if left.kind == "num" and right.kind == "num":
+            if left.dim != right.dim:
+                self._flag(
+                    node,
+                    f"dimension mismatch: {_render(left)} {op} "
+                    f"{_render(right)}",
+                )
+                return ANY
+            return left
+        if left.kind == "seq" and right.kind in ("seq", "tup") and op == "+":
+            return TypeRef(
+                "seq", elem=unify(left.elem or ANY, elem_of(right))
+            )
+        if left.kind == "num" and right.kind == "lit":
+            return left
+        if left.kind == "lit" and right.kind == "num":
+            return right
+        if left.kind == "lit" and right.kind == "lit":
+            return LIT
+        return ANY
+
+    def _multiplicative(self, left: TypeRef, right: TypeRef) -> TypeRef:
+        if left.kind in ("seq", "tup") and right.kind in ("num", "lit"):
+            return TypeRef("seq", elem=elem_of(left))  # list repetition
+        if right.kind in ("seq", "tup") and left.kind in ("num", "lit"):
+            return TypeRef("seq", elem=elem_of(right))
+        ld = self._factor_dim(left)
+        rd = self._factor_dim(right)
+        if ld is None or rd is None:
+            return ANY
+        if left.kind == "lit" and right.kind == "lit":
+            return LIT
+        return TypeRef("num", dim=ld * rd)
+
+    def _divide(self, left: TypeRef, right: TypeRef) -> TypeRef:
+        ld = self._factor_dim(left)
+        rd = self._factor_dim(right)
+        if ld is None or rd is None:
+            return ANY
+        if left.kind == "lit" and right.kind == "lit":
+            return LIT
+        return TypeRef("num", dim=ld / rd)
+
+    @staticmethod
+    def _factor_dim(val: TypeRef) -> Optional[Dim]:
+        """Dimension of a multiplicative factor; literals count as 1."""
+        if val.kind == "num" and val.dim is not None:
+            return val.dim
+        if val.kind == "lit":
+            return DIMENSIONLESS
+        return None
+
+    # ---------------------------------------------------------- expressions
+
+    def infer(self, node: ast.expr, env: dict[str, TypeRef]) -> TypeRef:
+        method = getattr(self, f"_infer_{type(node).__name__}", None)
+        if method is not None:
+            return method(node, env)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.infer(child, env)
+        return ANY
+
+    def _infer_Constant(self, node: ast.Constant, env: dict) -> TypeRef:
+        if isinstance(node.value, bool):
+            return BOOL
+        if isinstance(node.value, (int, float)):
+            return LIT
+        return ANY
+
+    def _infer_Name(self, node: ast.Name, env: dict) -> TypeRef:
+        if node.id in env:
+            return env[node.id]
+        return self._global_value(node.id)
+
+    def _global_value(self, name: str) -> TypeRef:
+        info = self.project.modules.get(self.module)
+        if info is None:
+            return ANY
+        return self._module_member(info.name, name)
+
+    def _module_member(self, module: str, name: str) -> TypeRef:
+        info = self.project.modules.get(module)
+        if info is None:
+            return ANY
+        symbols = info.symbols
+        if name in symbols.functions:
+            return TypeRef("func", qualname=f"{module}.{name}")
+        if name in symbols.classes:
+            return TypeRef("ctor", qualname=f"{module}.{name}")
+        if name in symbols.assigns:
+            value = symbols.assigns[name]
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, (int, float)
+            ):
+                return LIT
+            return ANY
+        target = symbols.imports.get(name)
+        if target is not None:
+            return self._imported_value(target)
+        return ANY
+
+    def _imported_value(self, dotted: str) -> TypeRef:
+        if dotted in self.project.modules or "." not in dotted:
+            return TypeRef("mod", qualname=dotted)
+        owner, _, leaf = dotted.rpartition(".")
+        target = self.project.modules.get(owner)
+        if target is None:
+            return TypeRef("mod", qualname=dotted)
+        return self._module_member(owner, leaf)
+
+    def _infer_Attribute(self, node: ast.Attribute, env: dict) -> TypeRef:
+        base = self.infer(node.value, env)
+        return self._attribute_on(base, node.attr)
+
+    def _attribute_on(self, base: TypeRef, attr: str) -> TypeRef:
+        if base.kind == "mod":
+            if base.qualname == "math":
+                return LIT if attr in ("pi", "e", "inf", "tau", "nan") else ANY
+            return self._module_member(base.qualname, attr)
+        if base.kind == "cls":
+            info = self.project.resolve_class(base.qualname)
+            if info is None:
+                return ANY
+            found = self.project.find_method(info, attr)
+            if found is not None:
+                owner, method = found
+                if method.is_property:
+                    return self.project.resolve_annotation(
+                        owner.module, method.returns
+                    )
+                return TypeRef(
+                    "method", qualname=f"{base.qualname}::{attr}"
+                )
+            return self.project.attr_type(info, attr)
+        return ANY
+
+    def _infer_Call(self, node: ast.Call, env: dict) -> TypeRef:
+        func = node.func
+        arg_vals = [
+            self.infer(arg.value, env)
+            if isinstance(arg, ast.Starred)
+            else self.infer(arg, env)
+            for arg in node.args
+        ]
+        kw_vals = {
+            kw.arg: self.infer(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.infer(kw.value, env)
+        has_star = any(isinstance(arg, ast.Starred) for arg in node.args)
+
+        if isinstance(func, ast.Name) and func.id not in env:
+            builtin = self._builtin_call(node, func.id, arg_vals, kw_vals)
+            if builtin is not None:
+                return builtin
+        if isinstance(func, ast.Attribute):
+            base = self.infer(func.value, env)
+            handled = self._method_on_value(node, base, func.attr, arg_vals)
+            if handled is not None:
+                return handled
+            callee = self._attribute_on(base, func.attr)
+        else:
+            callee = self.infer(func, env)
+        return self._apply(node, callee, arg_vals, kw_vals, has_star)
+
+    def _builtin_call(
+        self,
+        node: ast.Call,
+        name: str,
+        arg_vals: list[TypeRef],
+        kw_vals: dict,
+    ) -> Optional[TypeRef]:
+        if name in ("min", "max"):
+            candidates = list(arg_vals)
+            if "default" in kw_vals:
+                candidates.append(kw_vals["default"])
+            if len(arg_vals) == 1 and arg_vals[0].kind in ("seq", "tup"):
+                candidates = [elem_of(arg_vals[0])]
+                if "default" in kw_vals:
+                    candidates.append(kw_vals["default"])
+            result = candidates[0] if candidates else ANY
+            for val in candidates[1:]:
+                result = self._additive(node, name, result, val)
+            return result
+        if name in _SUMMING_BUILTINS:
+            if not arg_vals:
+                return ANY
+            result = elem_of(arg_vals[0])
+            if len(arg_vals) > 1:
+                result = self._additive(node, "sum", result, arg_vals[1])
+            return result if result.kind != "any" else ANY
+        if name in _PASSTHROUGH_BUILTINS:
+            if len(node.args) == 1 and arg_vals:
+                return arg_vals[0]
+            return ANY
+        if name == "len":
+            return BOOL
+        if name == "range":
+            return TypeRef("seq", elem=BOOL)
+        if name in ("sorted", "list", "tuple", "set", "frozenset", "reversed"):
+            if arg_vals:
+                return TypeRef("seq", elem=elem_of(arg_vals[0]))
+            return TypeRef("seq", elem=ANY)
+        if name == "enumerate":
+            inner = elem_of(arg_vals[0]) if arg_vals else ANY
+            return TypeRef("seq", elem=TypeRef("tup", elems=(BOOL, inner)))
+        if name == "zip":
+            return TypeRef(
+                "seq",
+                elem=TypeRef(
+                    "tup", elems=tuple(elem_of(val) for val in arg_vals)
+                ),
+            )
+        if name == "dict":
+            return TypeRef("map", elem=ANY)
+        return None
+
+    def _method_on_value(
+        self,
+        node: ast.Call,
+        base: TypeRef,
+        attr: str,
+        arg_vals: list[TypeRef],
+    ) -> Optional[TypeRef]:
+        """Calls on container values and the math module."""
+        if base.kind == "mod" and base.qualname == "math":
+            if attr == "sqrt" and arg_vals:
+                val = arg_vals[0]
+                if val.kind == "num" and val.dim is not None:
+                    return TypeRef("num", dim=val.dim ** Fraction(1, 2))
+                return LIT if val.kind == "lit" else ANY
+            if attr in ("ceil", "floor", "fabs", "trunc") and arg_vals:
+                return arg_vals[0]
+            if attr == "fsum" and arg_vals:
+                return elem_of(arg_vals[0])
+            return ANY
+        if base.kind == "map":
+            value = base.elem or ANY
+            if attr == "get":
+                result = value
+                if len(arg_vals) > 1:
+                    result = unify(value, arg_vals[1])
+                return result
+            if attr == "values":
+                return TypeRef("seq", elem=value)
+            if attr == "items":
+                return TypeRef(
+                    "seq", elem=TypeRef("tup", elems=(ANY, value))
+                )
+            if attr == "keys":
+                return TypeRef("seq", elem=ANY)
+            if attr in ("copy", "pop"):
+                return base if attr == "copy" else value
+            return ANY
+        if base.kind in ("seq", "tup"):
+            if attr == "copy":
+                return base
+            if attr == "pop":
+                return elem_of(base)
+            if attr in ("index", "count"):
+                return BOOL
+            if attr == "append" and arg_vals and base.kind == "seq":
+                return ANY
+            return ANY
+        return None
+
+    def _apply(
+        self,
+        node: ast.Call,
+        callee: TypeRef,
+        arg_vals: list[TypeRef],
+        kw_vals: dict,
+        has_star: bool,
+    ) -> TypeRef:
+        if callee.kind == "fn":
+            return callee.elem or ANY
+        if callee.kind == "func":
+            resolved = self.project.resolve_function(callee.qualname)
+            if resolved is None:
+                return ANY
+            mod, fn = resolved
+            if not has_star:
+                self._check_args(node, mod, fn.params, arg_vals, kw_vals)
+            return self.project.resolve_annotation(mod, fn.returns)
+        if callee.kind == "method":
+            qual, _, name = callee.qualname.partition("::")
+            info = self.project.resolve_class(qual)
+            if info is None:
+                return ANY
+            found = self.project.find_method(info, name)
+            if found is None:
+                return ANY
+            owner, method = found
+            params = method.params
+            if not method.is_staticmethod and params:
+                params = params[1:]
+            if not has_star:
+                self._check_args(
+                    node, owner.module, params, arg_vals, kw_vals
+                )
+            return self.project.resolve_annotation(
+                owner.module, method.returns
+            )
+        if callee.kind == "ctor":
+            info = self.project.resolve_class(callee.qualname)
+            if info is None:
+                return ANY
+            params = self._ctor_params(info)
+            if params is not None and not has_star:
+                self._check_args(node, info.module, params, arg_vals, kw_vals)
+            return TypeRef("cls", qualname=callee.qualname)
+        return ANY
+
+    def _ctor_params(self, info: ClassInfo) -> Optional[Sequence[Param]]:
+        found = self.project.find_method(info, "__init__")
+        if found is not None:
+            _, init = found
+            return init.params[1:]
+        if info.is_dataclass:
+            return [
+                Param(name, info.body_fields[name])
+                for name in info.field_order
+            ]
+        return None
+
+    def _check_args(
+        self,
+        node: ast.Call,
+        module: str,
+        params: Sequence[Param],
+        arg_vals: list[TypeRef],
+        kw_vals: dict,
+    ) -> None:
+        by_name = {param.name: param for param in params}
+        for param, val in zip(params, arg_vals):
+            expected = self.project.resolve_annotation(
+                module, param.annotation
+            )
+            self.check_assignable(
+                node, val, expected, f"argument '{param.name}'"
+            )
+        for name, val in kw_vals.items():
+            param = by_name.get(name)
+            if param is None:
+                continue
+            expected = self.project.resolve_annotation(
+                module, param.annotation
+            )
+            self.check_assignable(node, val, expected, f"argument '{name}'")
+
+    def _infer_BinOp(self, node: ast.BinOp, env: dict) -> TypeRef:
+        left = self.infer(node.left, env)
+        right = self.infer(node.right, env)
+        op_type = type(node.op)
+        if op_type in _ADDITIVE_OPS:
+            return self._additive(node, _ADDITIVE_OPS[op_type], left, right)
+        if op_type is ast.Mult:
+            return self._multiplicative(left, right)
+        if op_type in (ast.Div, ast.FloorDiv):
+            return self._divide(left, right)
+        if op_type is ast.Pow:
+            return self._power(node, left, right)
+        if op_type is ast.Mod:
+            if left.kind == "num":
+                return left
+            if left.kind == "lit" and right.kind in ("lit", "num"):
+                return right if right.kind == "num" else LIT
+            return ANY
+        return ANY
+
+    def _power(
+        self, node: ast.BinOp, left: TypeRef, right: TypeRef
+    ) -> TypeRef:
+        exponent: Optional[Fraction] = None
+        raw = node.right
+        if isinstance(raw, ast.UnaryOp) and isinstance(raw.op, ast.USub):
+            raw = raw.operand
+            negate = True
+        else:
+            negate = False
+        if isinstance(raw, ast.Constant) and isinstance(
+            raw.value, (int, float)
+        ):
+            try:
+                exponent = Fraction(str(raw.value))
+            except (ValueError, ZeroDivisionError):
+                exponent = None
+            if exponent is not None and negate:
+                exponent = -exponent
+        if left.kind == "lit":
+            return LIT
+        if left.kind == "num" and left.dim is not None:
+            if left.dim.dimensionless:
+                return left
+            if exponent is not None:
+                return TypeRef("num", dim=left.dim**exponent)
+        return ANY
+
+    def _infer_UnaryOp(self, node: ast.UnaryOp, env: dict) -> TypeRef:
+        operand = self.infer(node.operand, env)
+        if isinstance(node.op, (ast.USub, ast.UAdd)):
+            return operand
+        if isinstance(node.op, ast.Not):
+            return BOOL
+        return ANY
+
+    def _infer_Compare(self, node: ast.Compare, env: dict) -> TypeRef:
+        prev = self.infer(node.left, env)
+        for op, comparator in zip(node.ops, node.comparators):
+            current = self.infer(comparator, env)
+            op_type = type(op)
+            if op_type in _COMPARE_OPS:
+                self._additive(node, _COMPARE_OPS[op_type], prev, current)
+            prev = current
+        return BOOL
+
+    def _infer_BoolOp(self, node: ast.BoolOp, env: dict) -> TypeRef:
+        result: Optional[TypeRef] = None
+        for value in node.values:
+            val = self.infer(value, env)
+            result = val if result is None else unify(result, val)
+        return result or ANY
+
+    def _infer_IfExp(self, node: ast.IfExp, env: dict) -> TypeRef:
+        self.infer(node.test, env)
+        return unify(self.infer(node.body, env), self.infer(node.orelse, env))
+
+    def _infer_Lambda(self, node: ast.Lambda, env: dict) -> TypeRef:
+        return TypeRef("fn", elem=ANY)
+
+    def _infer_NamedExpr(self, node: ast.NamedExpr, env: dict) -> TypeRef:
+        val = self.infer(node.value, env)
+        if isinstance(node.target, ast.Name):
+            env[node.target.id] = val
+        return val
+
+    def _infer_Subscript(self, node: ast.Subscript, env: dict) -> TypeRef:
+        base = self.infer(node.value, env)
+        is_slice = isinstance(node.slice, ast.Slice)
+        if not is_slice:
+            self.infer(node.slice, env)
+        if base.kind == "seq":
+            return base if is_slice else (base.elem or ANY)
+        if base.kind == "tup":
+            if is_slice:
+                return TypeRef("seq", elem=_tuple_elem(base))
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(
+                index.value, int
+            ):
+                if -len(base.elems) <= index.value < len(base.elems):
+                    return base.elems[index.value]
+                return ANY
+            return _tuple_elem(base)
+        if base.kind == "map":
+            return base.elem or ANY
+        if base.kind == "cls":
+            info = self.project.resolve_class(base.qualname)
+            if info is not None:
+                found = self.project.find_method(info, "__getitem__")
+                if found is not None:
+                    owner, method = found
+                    return self.project.resolve_annotation(
+                        owner.module, method.returns
+                    )
+        return ANY
+
+    def _infer_Tuple(self, node: ast.Tuple, env: dict) -> TypeRef:
+        vals = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Starred):
+                self.infer(elt.value, env)
+                return TypeRef("seq", elem=ANY)
+            vals.append(self.infer(elt, env))
+        return TypeRef("tup", elems=tuple(vals))
+
+    def _infer_List(self, node: ast.List, env: dict) -> TypeRef:
+        elem: Optional[TypeRef] = None
+        for elt in node.elts:
+            if isinstance(elt, ast.Starred):
+                val = elem_of(self.infer(elt.value, env))
+            else:
+                val = self.infer(elt, env)
+            elem = val if elem is None else unify(elem, val)
+        return TypeRef("seq", elem=elem or ANY)
+
+    def _infer_Set(self, node: ast.Set, env: dict) -> TypeRef:
+        return self._infer_List(node, env)  # same shape rules
+
+    def _infer_Dict(self, node: ast.Dict, env: dict) -> TypeRef:
+        value: Optional[TypeRef] = None
+        for key in node.keys:
+            if key is not None:
+                self.infer(key, env)
+        for val_node in node.values:
+            val = self.infer(val_node, env)
+            value = val if value is None else unify(value, val)
+        return TypeRef("map", elem=value or ANY)
+
+    def _comp_env(
+        self, generators: list[ast.comprehension], env: dict
+    ) -> dict:
+        scope = dict(env)
+        for gen in generators:
+            iter_val = self.infer(gen.iter, scope)
+            self._bind_target(gen.target, elem_of(iter_val), scope)
+            for cond in gen.ifs:
+                self.infer(cond, scope)
+        return scope
+
+    def _infer_ListComp(self, node: ast.ListComp, env: dict) -> TypeRef:
+        scope = self._comp_env(node.generators, env)
+        return TypeRef("seq", elem=self.infer(node.elt, scope))
+
+    def _infer_SetComp(self, node: ast.SetComp, env: dict) -> TypeRef:
+        scope = self._comp_env(node.generators, env)
+        return TypeRef("seq", elem=self.infer(node.elt, scope))
+
+    def _infer_GeneratorExp(
+        self, node: ast.GeneratorExp, env: dict
+    ) -> TypeRef:
+        scope = self._comp_env(node.generators, env)
+        return TypeRef("seq", elem=self.infer(node.elt, scope))
+
+    def _infer_DictComp(self, node: ast.DictComp, env: dict) -> TypeRef:
+        scope = self._comp_env(node.generators, env)
+        self.infer(node.key, scope)
+        return TypeRef("map", elem=self.infer(node.value, scope))
+
+    def _infer_Starred(self, node: ast.Starred, env: dict) -> TypeRef:
+        self.infer(node.value, env)
+        return ANY
+
+    def _infer_JoinedStr(self, node: ast.JoinedStr, env: dict) -> TypeRef:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                self.infer(value.value, env)
+        return ANY
+
+    # ----------------------------------------------------------- statements
+
+    def exec_block(self, stmts: Sequence[ast.stmt], env: dict) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.infer(stmt.value, env)
+        elif isinstance(stmt, ast.Assign):
+            val = self.infer(stmt.value, env)
+            for target in stmt.targets:
+                self._assign_target(target, val, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = self._ann(stmt.annotation)
+            if stmt.value is not None:
+                val = self.infer(stmt.value, env)
+                self.check_assignable(
+                    stmt, val, declared, "annotated assignment"
+                )
+            else:
+                val = ANY
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = (
+                    declared if declared.kind != "any" else val
+                )
+            else:
+                self._store_check(stmt.target, declared, env, bind=False)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self.infer(stmt.target, env)
+            val = self.infer(stmt.value, env)
+            op_type = type(stmt.op)
+            if op_type in _ADDITIVE_OPS:
+                result = self._additive(
+                    stmt, _ADDITIVE_OPS[op_type] + "=", current, val
+                )
+            elif op_type is ast.Mult:
+                result = self._multiplicative(current, val)
+            elif op_type in (ast.Div, ast.FloorDiv):
+                result = self._divide(current, val)
+            else:
+                result = ANY
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = result
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                val = self.infer(stmt.value, env)
+                declared = self._ann(self.func.returns)
+                self.check_assignable(stmt, val, declared, "return value")
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test, env)
+            self._branch_merge(env, [stmt.body, stmt.orelse])
+        elif isinstance(stmt, ast.For):
+            iter_val = self.infer(stmt.iter, env)
+            body_env = dict(env)
+            self._bind_target(stmt.target, elem_of(iter_val), body_env)
+            self.exec_block(stmt.body, body_env)
+            self._merge_into(env, [body_env])
+            if stmt.orelse:
+                self._branch_merge(env, [stmt.orelse])
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test, env)
+            body_env = dict(env)
+            self.exec_block(stmt.body, body_env)
+            self._merge_into(env, [body_env])
+            if stmt.orelse:
+                self._branch_merge(env, [stmt.orelse])
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                val = self.infer(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, ANY, env)
+                del val
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                if handler.name is not None:
+                    handler_env[handler.name] = ANY
+                self.exec_block(handler.body, handler_env)
+                self._merge_into(env, [handler_env])
+            self.exec_block(stmt.orelse, env)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Assert):
+            self.infer(stmt.test, env)
+            if stmt.msg is not None:
+                self.infer(stmt.msg, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.infer(stmt.exc, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            env[stmt.name] = TypeRef("fn", elem=ANY)
+        elif isinstance(stmt, ast.ClassDef):
+            env[stmt.name] = ANY
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+
+    def _branch_merge(
+        self, env: dict, blocks: Sequence[Sequence[ast.stmt]]
+    ) -> None:
+        branch_envs = []
+        for block in blocks:
+            branch_env = dict(env)
+            self.exec_block(block, branch_env)
+            branch_envs.append(branch_env)
+        self._merge_into(env, branch_envs)
+
+    @staticmethod
+    def _merge_into(env: dict, branch_envs: Sequence[dict]) -> None:
+        keys: set[str] = set()
+        for branch in branch_envs:
+            keys.update(branch)
+        for key in keys:
+            vals = [branch[key] for branch in branch_envs if key in branch]
+            merged = vals[0]
+            for val in vals[1:]:
+                merged = unify(merged, val)
+            env[key] = merged
+
+    def _assign_target(
+        self, target: ast.expr, val: TypeRef, env: dict
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = val
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._unpack(target, val, env)
+        else:
+            self._store_check(target, val, env, bind=True)
+
+    def _bind_target(self, target: ast.expr, val: TypeRef, env: dict) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = val
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._unpack(target, val, env)
+
+    def _unpack(
+        self, target: "ast.Tuple | ast.List", val: TypeRef, env: dict
+    ) -> None:
+        elts = target.elts
+        if val.kind == "tup" and len(val.elems) == len(elts):
+            parts: Sequence[TypeRef] = val.elems
+        else:
+            part = elem_of(val)
+            parts = [part] * len(elts)
+        for elt, part in zip(elts, parts):
+            if isinstance(elt, ast.Starred):
+                if isinstance(elt.value, ast.Name):
+                    env[elt.value.id] = TypeRef("seq", elem=part)
+            else:
+                self._bind_target(elt, part, env)
+
+    def _store_check(
+        self, target: ast.expr, val: TypeRef, env: dict, bind: bool
+    ) -> None:
+        """Check a store into ``obj.attr`` or ``container[i]``."""
+        if isinstance(target, ast.Attribute):
+            base = self.infer(target.value, env)
+            if base.kind == "cls":
+                info = self.project.resolve_class(base.qualname)
+                if info is not None:
+                    declared = self.project.attr_type(info, target.attr)
+                    self.check_assignable(
+                        target, val, declared, f"attribute '{target.attr}'"
+                    )
+        elif isinstance(target, ast.Subscript):
+            base = self.infer(target.value, env)
+            if not isinstance(target.slice, ast.Slice):
+                self.infer(target.slice, env)
+            if base.kind == "seq":
+                self.check_assignable(
+                    target, val, base.elem or ANY, "sequence element"
+                )
+            elif base.kind == "map":
+                self.check_assignable(
+                    target, val, base.elem or ANY, "mapping value"
+                )
+
+
+def analyze_module(
+    project: Project, module: str
+) -> list[tuple[FunctionInfo, Mismatch]]:
+    """Run the engine over every function and method of ``module``."""
+    info = project.modules.get(module)
+    if info is None:
+        return []
+    out: list[tuple[FunctionInfo, Mismatch]] = []
+    jobs: list[tuple[FunctionInfo, Optional[ClassInfo]]] = [
+        (fn, None) for fn in info.symbols.functions.values()
+    ]
+    for cls in info.symbols.classes.values():
+        jobs.extend((method, cls) for method in cls.methods.values())
+    for func, cls in jobs:
+        analysis = FunctionAnalysis(project, module, func, cls)
+        try:
+            found = analysis.run()
+        except RecursionError:  # pathological nesting: skip, never crash
+            continue
+        out.extend((func, problem) for problem in found)
+    return out

@@ -1,0 +1,103 @@
+"""Dimension algebra for RL006.
+
+A :class:`Dim` is a pair of rational exponents over the two base
+dimensions of the QA math -- data (bytes) and time (seconds). ``B/s`` is
+``Dim(1, -1)``; the AIMD slope ``S`` is ``Dim(1, -2)``; ``sqrt`` halves
+every exponent, which is why the exponents are :class:`~fractions.
+Fraction` and not ``int`` (the paper's drop rule compares ``na*C - R``
+against ``sqrt(2*S*total_buf)`` -- both sides must land on ``B/s``).
+
+The table in :data:`UNIT_ALIASES` mirrors the ``Annotated`` aliases of
+:mod:`repro.core.units`. It is duplicated here deliberately: lint
+fixtures must resolve ``from repro.core.units import Bytes`` even when
+the real module is not part of the linted project. A round-trip test
+(``tests/lint/test_flow.py``) asserts the two tables agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+#: Canonical module holding the unit aliases.
+UNITS_MODULE = "repro.core.units"
+
+
+@dataclass(frozen=True)
+class Dim:
+    """Exponents of (bytes, seconds). ``Dim(0, 0)`` is dimensionless."""
+
+    data: Fraction = Fraction(0)
+    time: Fraction = Fraction(0)
+
+    def __mul__(self, other: "Dim") -> "Dim":
+        return Dim(self.data + other.data, self.time + other.time)
+
+    def __truediv__(self, other: "Dim") -> "Dim":
+        return Dim(self.data - other.data, self.time - other.time)
+
+    def __pow__(self, exponent: Fraction) -> "Dim":
+        return Dim(self.data * exponent, self.time * exponent)
+
+    @property
+    def dimensionless(self) -> bool:
+        return self.data == 0 and self.time == 0
+
+    def render(self) -> str:
+        """Human form: ``B/s^2``, ``B^1/2``, ``s``, ``1``."""
+
+        def factor(symbol: str, power: Fraction) -> Optional[str]:
+            if power == 0:
+                return None
+            if power == 1:
+                return symbol
+            return f"{symbol}^{power}"
+
+        num = [
+            part
+            for part in (
+                factor("B", self.data) if self.data > 0 else None,
+                factor("s", self.time) if self.time > 0 else None,
+            )
+            if part
+        ]
+        den = [
+            part
+            for part in (
+                factor("B", -self.data) if self.data < 0 else None,
+                factor("s", -self.time) if self.time < 0 else None,
+            )
+            if part
+        ]
+        if not num and not den:
+            return "1"
+        head = "*".join(num) if num else "1"
+        if den:
+            return f"{head}/{'*'.join(den)}"
+        return head
+
+
+DIMENSIONLESS = Dim()
+BYTES = Dim(data=Fraction(1))
+SECONDS = Dim(time=Fraction(1))
+BYTES_PER_SEC = Dim(data=Fraction(1), time=Fraction(-1))
+BYTES_PER_SEC2 = Dim(data=Fraction(1), time=Fraction(-2))
+
+#: Alias name (as exported by ``repro.core.units``) -> dimension.
+UNIT_ALIASES: dict[str, Dim] = {
+    "Bytes": BYTES,
+    "ByteCount": BYTES,
+    "Seconds": SECONDS,
+    "BytesPerSec": BYTES_PER_SEC,
+    "BytesPerSec2": BYTES_PER_SEC2,
+    "Scalar": DIMENSIONLESS,
+}
+
+#: Builtin scalar annotations with a known dimension. ``float`` is
+#: deliberately absent: an unannotated/plain-float quantity may carry any
+#: dimension, so it stays unknown rather than dimensionless.
+BUILTIN_SCALARS: dict[str, Dim] = {
+    "int": DIMENSIONLESS,
+    "bool": DIMENSIONLESS,
+}

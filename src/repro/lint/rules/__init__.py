@@ -2,18 +2,27 @@
 
 from __future__ import annotations
 
-from repro.lint.rules.base import FileContext, Rule
+from repro.lint.rules.base import FileContext, FlowRule, Rule
 from repro.lint.rules.rl001_determinism import DeterminismRule
 from repro.lint.rules.rl002_protocol import ExperimentProtocolRule
 from repro.lint.rules.rl003_units import UnitsDisciplineRule
 from repro.lint.rules.rl004_cache import CacheKeyHygieneRule
+from repro.lint.rules.rl005_seedflow import SeedFlowRule
+from repro.lint.rules.rl006_dimensions import DimensionRule
+from repro.lint.rules.rl007_telemetry import TelemetryCostRule
+from repro.lint.rules.rl008_scheduler import SchedulerTiebreakRule
 
 __all__ = [
     "CacheKeyHygieneRule",
     "DeterminismRule",
+    "DimensionRule",
     "ExperimentProtocolRule",
     "FileContext",
+    "FlowRule",
     "Rule",
+    "SchedulerTiebreakRule",
+    "SeedFlowRule",
+    "TelemetryCostRule",
     "UnitsDisciplineRule",
     "default_rules",
 ]
@@ -24,11 +33,18 @@ def default_rules() -> tuple[Rule, ...]:
 
     A factory (not a module-level tuple) because rules may memoize
     per-run state -- RL002 caches each experiments directory's registry
-    -- and invocations must not see each other's caches.
+    -- and invocations must not see each other's caches. RL005-RL008 are
+    :class:`FlowRule` subclasses: they run once per invocation over the
+    whole-program :class:`~repro.lint.flow.project.Project` instead of
+    file by file.
     """
     return (
         DeterminismRule(),
         ExperimentProtocolRule(),
         UnitsDisciplineRule(),
         CacheKeyHygieneRule(),
+        SeedFlowRule(),
+        DimensionRule(),
+        TelemetryCostRule(),
+        SchedulerTiebreakRule(),
     )

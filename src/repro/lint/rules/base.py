@@ -6,9 +6,12 @@ import abc
 import ast
 import pathlib
 from dataclasses import dataclass
-from typing import ClassVar, Iterable, Optional
+from typing import TYPE_CHECKING, ClassVar, Iterable, Optional
 
 from repro.lint.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.flow.project import Project
 
 
 @dataclass(frozen=True)
@@ -69,6 +72,27 @@ class Rule(abc.ABC):
     @abc.abstractmethod
     def check(self, ctx: FileContext) -> list[Violation]:
         """All violations of this rule in ``ctx``."""
+
+
+class FlowRule(Rule):
+    """A rule that runs once over the whole-program :class:`Project`.
+
+    Flow rules never run through the per-file ``check`` path -- the CLI
+    builds one Project from every parsed file in the run and calls
+    :meth:`check_project` once. Findings are still per-file
+    :class:`Violation` objects, so suppressions and report formats apply
+    unchanged.
+    """
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return False
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        return []
+
+    @abc.abstractmethod
+    def check_project(self, project: "Project") -> list[Violation]:
+        """All violations of this rule across the project."""
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

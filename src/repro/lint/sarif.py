@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 output for repro-lint.
+
+SARIF is the interchange format GitHub code scanning ingests: uploading
+one report per CI run gets every violation annotated inline on the PR
+diff. Only the small subset code scanning actually reads is emitted --
+tool driver with rule metadata, one ``result`` per violation with a
+physical location. Columns are converted from repro-lint's 0-based
+convention to SARIF's 1-based one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lint.rules.base import Rule
+from repro.lint.violations import Violation
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://example.invalid/repro/docs/LINTING.md"
+
+
+def build_sarif(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> dict:
+    """A SARIF log dict ready for ``json.dumps``."""
+    rule_meta = [
+        {
+            "id": rule.code,
+            "name": rule.title.title().replace(" ", ""),
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    results = [
+        {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _INFO_URI,
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

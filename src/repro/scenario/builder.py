@@ -150,7 +150,7 @@ class Scenario:
             telemetry=bus,
         )
         if spec.stop is not None:
-            self.sim.schedule_at(spec.stop, session.stop)
+            self.sim.schedule_at(spec.stop, session.stop, priority=0)
         return BuiltFlow(index, spec, label, session.server.flow_id,
                          spec.start, session.server.rap,
                          sink=session.client, session=session)

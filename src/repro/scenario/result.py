@@ -69,9 +69,9 @@ class ScenarioResult:
                  if not kinds or f.kind in kinds]
         return jain_index(rates)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, float]:
         """Cross-flow numbers, insertion-ordered for stable rendering."""
-        out: dict = {
+        out: dict[str, float] = {
             "n_flows": len(self.flows),
             "fairness": self.fairness,
             "utilization": self.utilization,

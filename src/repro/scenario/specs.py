@@ -29,8 +29,8 @@ class QAFlowSpec:
     sample_period: float = 0.1
     label: Optional[str] = None
     #: Overrides for ablations (None -> the production classes).
-    adapter_cls: Optional[type] = None
-    transport_cls: Optional[type] = None
+    adapter_cls: Optional[type[object]] = None
+    transport_cls: Optional[type[object]] = None
 
     kind = "qa"
 

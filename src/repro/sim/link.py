@@ -86,13 +86,17 @@ class Link:
             return
         self._busy = True
         tx_time = packet.size / self.bandwidth
-        self.sim.schedule(tx_time, self._transmission_done, args=(packet,))
+        self.sim.schedule(
+            tx_time, self._transmission_done, priority=0, args=(packet,)
+        )
 
     def _transmission_done(self, packet: Packet) -> None:
         self.bytes_forwarded += packet.size
         self.packets_forwarded += 1
         # Propagation: deliver after `delay`; the transmitter frees up now.
-        self.sim.schedule(self.delay, self._deliver, args=(packet,))
+        self.sim.schedule(
+            self.delay, self._deliver, priority=0, args=(packet,)
+        )
         if len(self.queue) > 0:
             self._start_transmission()
         else:

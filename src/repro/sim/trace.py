@@ -115,7 +115,7 @@ class PeriodicSampler:
         self.period = period
         self.callback = callback
         self._stopped = False
-        sim.schedule(max(0.0, start - sim.now), self._tick)
+        sim.schedule(max(0.0, start - sim.now), self._tick, priority=0)
 
     def stop(self) -> None:
         self._stopped = True
@@ -124,7 +124,7 @@ class PeriodicSampler:
         if self._stopped:
             return
         self.callback(self.sim.now)
-        self.sim.schedule(self.period, self._tick)
+        self.sim.schedule(self.period, self._tick, priority=0)
 
 
 class Tracer:

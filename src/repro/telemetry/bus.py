@@ -69,12 +69,14 @@ class TelemetryBus:
         if self.enabled:
             self.tracer.record(name, time, value)
 
-    def log_event(self, time: float, kind: str, **fields) -> None:
+    def log_event(self, time: float, kind: str, **fields: object) -> None:
         """Record a discrete event (dropped when disabled)."""
         if self.enabled:
             self.tracer.log_event(time, kind, **fields)
 
-    def event_hook(self) -> Optional[Callable[[float, str, dict], None]]:
+    def event_hook(
+        self,
+    ) -> Optional[Callable[[float, str, dict[str, object]], None]]:
         """An ``on_event(t, kind, fields)`` callable, or None if disabled.
 
         Producers treat ``None`` as "don't even build the event", which

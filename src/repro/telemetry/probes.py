@@ -7,7 +7,7 @@ until subscribed; a disabled bus registers them without ever sampling.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.sim.link import Link
 
@@ -51,13 +51,16 @@ class SessionProbe(Probe):
     sessions share one bus.
     """
 
-    def __init__(self, server, client, period: float = 0.1,
+    def __init__(self, server: Any, client: Any, period: float = 0.1,
                  prefix: str = "") -> None:
+        # server/client are duck-typed (``Any``): probes only read the
+        # handful of attributes listed above, and ablation variants
+        # substitute their own server/adapter classes freely.
         super().__init__(period)
         self.server = server
         self.client = client
         self.prefix = prefix
-        max_layers = server.config.max_layers
+        max_layers: int = server.config.max_layers
         self._last_sent = [0.0] * max_layers
         self._last_consumed = [0.0] * max_layers
         self._last_delivered = [0.0] * max_layers
@@ -121,7 +124,8 @@ class QueueOccupancyProbe(Probe):
 class TransportRateProbe(Probe):
     """Transmission rate of one transport agent (any with ``.rate``)."""
 
-    def __init__(self, transport, channel: str, period: float = 0.1) -> None:
+    def __init__(self, transport: Any, channel: str,
+                 period: float = 0.1) -> None:
         super().__init__(period)
         self.transport = transport
         self.channel = channel

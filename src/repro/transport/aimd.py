@@ -78,7 +78,7 @@ class WindowAimdSource(TransportAgent):
         self._last_ack_time = start
         self._stopped = False
         self.stop_time = stop
-        sim.schedule(max(0.0, start - sim.now), self._start)
+        sim.schedule(max(0.0, start - sim.now), self._start, priority=0)
 
     # ------------------------------------------------------------------ API
 
@@ -126,7 +126,9 @@ class WindowAimdSource(TransportAgent):
             meta = self.payload_picker(self.next_seq)
             if meta is None:
                 # Application idle: retry shortly so the window refills.
-                self.sim.schedule(self.srtt / 4, self._fill_window)
+                self.sim.schedule(
+                    self.srtt / 4, self._fill_window, priority=0
+                )
                 return False
         packet = self._make_packet(self.next_seq, self.packet_size,
                                    **meta)
@@ -149,7 +151,7 @@ class WindowAimdSource(TransportAgent):
             self._fill_window()
         elif not self._outstanding and idle > self.rto:
             self._fill_window()  # restart a stalled window
-        self.sim.schedule(self.rto / 2, self._timeout_tick)
+        self.sim.schedule(self.rto / 2, self._timeout_tick, priority=0)
 
     def _backoff(self, triggering_seq: int) -> None:
         if triggering_seq < self.recovery_seq:

@@ -40,7 +40,7 @@ class CbrSource(TransportAgent):
         self.stop_time = stop
         self._stopped = False
         self._seq = 0
-        sim.schedule(max(0.0, start - sim.now), self._tick)
+        sim.schedule(max(0.0, start - sim.now), self._tick, priority=0)
 
     def stop(self) -> None:
         self._stopped = True
@@ -53,7 +53,7 @@ class CbrSource(TransportAgent):
         packet = self._make_packet(self._seq, self.packet_size)
         self._seq += 1
         self._transmit(packet)
-        self.sim.schedule(self.interval, self._tick)
+        self.sim.schedule(self.interval, self._tick, priority=0)
 
     def receive(self, packet: Packet) -> None:
         """CBR ignores anything sent back to it."""

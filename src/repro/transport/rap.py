@@ -98,7 +98,7 @@ class RapSource(TransportAgent):
         self._stopped = False
         self.stop_time = stop
 
-        sim.schedule(max(0.0, start - sim.now), self._start)
+        sim.schedule(max(0.0, start - sim.now), self._start, priority=0)
 
     # ------------------------------------------------------------------ API
 
@@ -150,7 +150,7 @@ class RapSource(TransportAgent):
         if not self._active():
             return
         self._send_one()
-        self.sim.schedule(self.ipg, self._send_tick)
+        self.sim.schedule(self.ipg, self._send_tick, priority=0)
 
     def _send_one(self) -> None:
         meta: Optional[dict] = {}
@@ -169,7 +169,7 @@ class RapSource(TransportAgent):
         if not self._active():
             return
         self._rate += self.packet_size / self.srtt
-        self.sim.schedule(self.srtt, self._step_tick)
+        self.sim.schedule(self.srtt, self._step_tick, priority=0)
 
     def _timeout_tick(self) -> None:
         if not self._active():
@@ -181,7 +181,7 @@ class RapSource(TransportAgent):
                 self._declare_lost(seq)
             self._backoff(self.next_seq)
             self._last_ack_time = self.sim.now
-        self.sim.schedule(self.rto / 2, self._timeout_tick)
+        self.sim.schedule(self.rto / 2, self._timeout_tick, priority=0)
 
     def _backoff(self, triggering_seq: int) -> None:
         """Multiplicative decrease, once per congestion event."""

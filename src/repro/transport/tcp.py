@@ -59,7 +59,7 @@ class TcpSource(TransportAgent):
         self._rto_backoff = 1.0
         self._stopped = False
         self.stop_time = stop
-        sim.schedule(max(0.0, start - sim.now), self._start)
+        sim.schedule(max(0.0, start - sim.now), self._start, priority=0)
 
     # ------------------------------------------------------------------ API
 
@@ -121,7 +121,9 @@ class TcpSource(TransportAgent):
             self._cancel_rto()
             return
         if self._rto_event is None or self._rto_event.cancelled:
-            self._rto_event = self.sim.schedule(self.rto, self._on_rto)
+            self._rto_event = self.sim.schedule(
+                self.rto, self._on_rto, priority=0
+            )
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:

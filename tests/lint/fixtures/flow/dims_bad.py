@@ -1,0 +1,25 @@
+"""Mutated QA math: dimension errors RL006 must pin to exact lines."""
+
+from repro.core.units import Bytes, BytesPerSec, BytesPerSec2, Seconds
+
+
+def takeover(rate: BytesPerSec, slope: BytesPerSec2) -> Seconds:
+    return rate / slope
+
+
+def drop_rule_transposed(na: int, rate: BytesPerSec,
+                         slope: BytesPerSec2,
+                         elapsed: Seconds) -> bool:
+    return na * rate - slope >= elapsed
+
+
+def sum_mismatch(rate: BytesPerSec, elapsed: Seconds) -> float:
+    return rate + elapsed
+
+
+def swapped_args(rate: BytesPerSec, slope: BytesPerSec2) -> Seconds:
+    return takeover(slope, rate)
+
+
+def max_mismatch(backlog: Bytes, rate: BytesPerSec) -> float:
+    return max(backlog, rate)

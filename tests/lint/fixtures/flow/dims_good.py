@@ -1,0 +1,18 @@
+"""Correct QA math: the paper's drop rule must type-check (RL006)."""
+
+import math
+
+from repro.core.units import Bytes, BytesPerSec, BytesPerSec2, Seconds
+
+
+def drop_rule(na: int, consumption: BytesPerSec, rate: BytesPerSec,
+              slope: BytesPerSec2, total_buf: Bytes) -> bool:
+    return na * consumption - rate >= math.sqrt(2 * slope * total_buf)
+
+
+def fill_time(backlog: Bytes, rate: BytesPerSec) -> Seconds:
+    return backlog / rate
+
+
+def ramp(rate: BytesPerSec, slope: BytesPerSec2, dt: Seconds) -> BytesPerSec:
+    return rate + slope * dt

@@ -1,0 +1,39 @@
+"""Telemetry-hook mutations: unguarded hot-path calls RL007 must catch."""
+
+
+class Producer:
+    def __init__(self, bus) -> None:
+        self.on_event = bus.event_hook()
+
+    def unguarded(self) -> None:
+        self.on_event("packet", size=1)
+
+    def guarded(self) -> None:
+        if self.on_event is not None:
+            self.on_event("packet", size=1)
+
+    def truthy(self) -> None:
+        if self.on_event:
+            self.on_event("packet", size=1)
+
+    def early_return(self) -> None:
+        if self.on_event is None:
+            return
+        self.on_event("packet", size=1)
+
+    def direct_call(self, bus) -> None:
+        bus.event_hook()("packet", size=1)
+
+    def local_hook(self, bus) -> None:
+        hook = bus.event_hook()
+        hook("packet", size=1)
+
+    def local_guarded(self, bus) -> None:
+        hook = bus.event_hook()
+        if hook is not None:
+            hook("packet", size=1)
+
+    def assert_guarded(self, bus) -> None:
+        hook = bus.event_hook()
+        assert hook is not None
+        hook("packet", size=1)

@@ -1,0 +1,30 @@
+"""Scheduler-tiebreak mutations: implicit-priority calls RL008 must catch."""
+
+
+def periodic(sim, cb) -> None:
+    sim.schedule(0.1, cb)
+
+
+def explicit(sim, cb) -> None:
+    sim.schedule(0.1, cb, priority=0)
+
+
+def positional(sim, cb) -> None:
+    sim.schedule(0.1, cb, 1)
+
+
+def jittered_delay(sim, rng, cb) -> None:
+    sim.schedule(rng.jittered(0.2, 0.25), cb)
+
+
+def drawn_local(sim, rng, cb) -> None:
+    delay = rng.uniform(0.0, 1.0)
+    sim.schedule(delay, cb)
+
+
+def absolute(sim, cb) -> None:
+    sim.schedule_at(2.0, cb)
+
+
+def batch(sim, items) -> None:
+    sim.schedule_many(items)

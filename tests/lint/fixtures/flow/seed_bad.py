@@ -1,0 +1,54 @@
+"""Seed-flow mutations: aliasing and raw seeds RL005 must catch."""
+
+import random
+
+from repro.sim.rng import SeededRNG, derive_seed
+
+
+def consume(rng: SeededRNG) -> None:
+    del rng
+
+
+def double_use(rng: SeededRNG) -> None:
+    consume(rng)
+    consume(rng)
+
+
+def alias_use(rng: SeededRNG) -> None:
+    other = rng
+    consume(other)
+    consume(rng)
+
+
+def raw_seed() -> None:
+    rng = random.Random(7)
+    consume(rng=rng)
+
+
+def loop_reuse(rng: SeededRNG) -> None:
+    for _ in range(3):
+        consume(rng)
+
+
+def per_flow_ok(root: SeededRNG) -> None:
+    for index in range(3):
+        rng = root.spawn(f"flow{index}")
+        consume(rng)
+
+
+def dispatch_ok(rng: SeededRNG, kind: str) -> None:
+    if kind == "a":
+        consume(rng)
+        return
+    if kind == "b":
+        consume(rng)
+        return
+    consume(rng)
+
+
+class Shared:
+    def __init__(self) -> None:
+        self.rng = SeededRNG(derive_seed(1, "shared"))
+
+    def leak(self) -> None:
+        consume(self.rng)

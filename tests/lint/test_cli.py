@@ -3,6 +3,7 @@
 import json
 import pathlib
 import re
+import subprocess
 
 import pytest
 
@@ -65,6 +66,12 @@ class TestExitCodes:
         assert main([str(broken)]) == 1
         assert "RL000" in capsys.readouterr().out
 
+    def test_no_files_matched_exits_three(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty)]) == 3
+        assert "no Python files" in capsys.readouterr().err
+
 
 class TestRuleSelection:
     def test_rules_filter(self, capsys):
@@ -77,7 +84,8 @@ class TestRuleSelection:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL000", "RL001", "RL002", "RL003", "RL004"):
+        for code in ("RL000", "RL001", "RL002", "RL003", "RL004",
+                     "RL005", "RL006", "RL007", "RL008"):
             assert code in out
 
 
@@ -121,3 +129,105 @@ class TestJsonReport:
         assert [v["path"] for v in report["violations"]] == [
             "a.py", "a.py", "b.py"
         ]
+
+
+class TestSarifReport:
+    def test_sarif_shape(self, capsys):
+        assert main(
+            ["--format", "sarif", str(FIXTURES / "sim" / "bad_random.py")]
+        ) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"RL001", "RL005", "RL006", "RL007", "RL008"} <= rule_ids
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"].startswith("RL")
+            assert result["level"] == "error"
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_sarif_out_file(self, tmp_path, clean_file, capsys):
+        target = tmp_path / "lint.sarif"
+        assert main(
+            ["--format", "sarif", "--out", str(target), str(clean_file)]
+        ) == 0
+        log = json.loads(target.read_text())
+        assert log["runs"][0]["results"] == []
+
+
+class TestShowSuppressed:
+    def test_stale_directive_fails(self, tmp_path, capsys):
+        path = tmp_path / "sim" / "mixed.py"
+        path.parent.mkdir()
+        path.write_text(
+            "import random  # repro-lint: disable=RL001\n"
+            "VALUE = 1  # repro-lint: disable=RL004\n"
+        )
+        assert main(["--show-suppressed", str(path)]) == 1
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert any("disable=RL001 used" in line for line in lines)
+        assert any("disable=RL004 STALE" in line for line in lines)
+        assert "1 stale" in captured.err
+
+    def test_all_used_passes(self, tmp_path, capsys):
+        path = tmp_path / "sim" / "used.py"
+        path.parent.mkdir()
+        path.write_text("import random  # repro-lint: disable=RL001\n")
+        assert main(["--show-suppressed", str(path)]) == 0
+        assert "0 stale" in capsys.readouterr().err
+
+
+def _git(repo, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.invalid", "-c", "user.name=t",
+         *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChanged:
+    @pytest.fixture()
+    def git_repo(self, tmp_path):
+        repo = tmp_path / "work"
+        (repo / "sim").mkdir(parents=True)
+        (repo / "sim" / "a.py").write_text("import random\n")
+        (repo / "sim" / "b.py").write_text("import random\n")
+        _git(repo, "init", "-q")
+        _git(repo, "add", ".")
+        _git(repo, "commit", "-q", "-m", "seed")
+        return repo
+
+    def test_reports_only_changed_files(self, git_repo, monkeypatch,
+                                        capsys):
+        monkeypatch.chdir(git_repo)
+        (git_repo / "sim" / "a.py").write_text(
+            "import random\nimport random\n"
+        )
+        assert main(["--changed", "sim"]) == 1
+        out = capsys.readouterr().out
+        assert "a.py" in out
+        assert "b.py" not in out
+
+    def test_clean_diff_exits_zero(self, git_repo, monkeypatch, capsys):
+        monkeypatch.chdir(git_repo)
+        assert main(["--changed", "sim"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no checked files changed" in captured.err
+
+    def test_untracked_files_count_as_changed(self, git_repo,
+                                              monkeypatch, capsys):
+        monkeypatch.chdir(git_repo)
+        (git_repo / "sim" / "fresh.py").write_text("import random\n")
+        assert main(["--changed", "sim"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "a.py" not in out

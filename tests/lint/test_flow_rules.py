@@ -1,0 +1,128 @@
+"""Flow rules RL005-RL008: exact findings on mutation fixtures.
+
+Each fixture under ``fixtures/flow/`` mutates one invariant the paper's
+reproduction depends on; the tests pin every finding to its exact
+``(file, line, col)`` so a rule that drifts (fires on the wrong node, or
+stops firing) fails loudly. The deliberately-correct functions in the
+same fixtures double as false-positive regression checks.
+"""
+
+import pathlib
+
+from repro.lint import lint_paths
+from repro.lint.rules import (
+    DimensionRule,
+    SchedulerTiebreakRule,
+    SeedFlowRule,
+    TelemetryCostRule,
+)
+
+FLOW_FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "flow"
+
+
+def locations(rule):
+    violations, _ = lint_paths([str(FLOW_FIXTURES)], rules=[rule])
+    assert all(v.code == rule.code for v in violations)
+    return [
+        (pathlib.Path(v.path).name, v.line, v.col) for v in violations
+    ], violations
+
+
+class TestDimensionRule:
+    def test_exact_findings(self):
+        found, violations = locations(DimensionRule())
+        assert found == [
+            ("dims_bad.py", 13, 11),  # na*R - S: rate minus slope
+            ("dims_bad.py", 17, 11),  # rate + elapsed
+            ("dims_bad.py", 21, 11),  # takeover(slope, rate): both args
+            ("dims_bad.py", 21, 11),
+            ("dims_bad.py", 25, 11),  # max(backlog, rate)
+        ]
+        messages = [v.message for v in violations]
+        assert "B/s - B/s^2" in messages[0]
+        assert "B/s + s" in messages[1]
+        assert "argument 'rate' expects B/s, got B/s^2" in messages[2]
+        assert "argument 'slope' expects B/s^2, got B/s" in messages[3]
+        assert "B max B/s" in messages[4]
+
+    def test_correct_math_is_silent(self):
+        found, _ = locations(DimensionRule())
+        assert not any(name == "dims_good.py" for name, _, _ in found)
+
+
+class TestSeedFlowRule:
+    def test_exact_findings(self):
+        found, violations = locations(SeedFlowRule())
+        assert found == [
+            ("seed_bad.py", 14, 4),  # second consume(rng)
+            ("seed_bad.py", 20, 4),  # consumed via alias then directly
+            ("seed_bad.py", 25, 4),  # random.Random(7) origin
+            ("seed_bad.py", 30, 8),  # outer rng consumed per iteration
+            ("seed_bad.py", 54, 8),  # self.rng passed through directly
+        ]
+        messages = [v.message for v in violations]
+        assert "more than one stochastic consumer" in messages[0]
+        assert "more than one stochastic consumer" in messages[1]
+        assert "does not originate from spawn()" in messages[2]
+        assert "more than one stochastic consumer" in messages[3]
+        assert "shared RNG attribute 'rng'" in messages[4]
+
+    def test_sanctioned_patterns_are_silent(self):
+        # per_flow_ok (spawn inside the loop) and dispatch_ok (each
+        # branch returns) must not fire: lines 36, 41, 44, 46.
+        found, _ = locations(SeedFlowRule())
+        flagged_lines = {line for _, line, _ in found}
+        assert flagged_lines.isdisjoint({36, 41, 44, 46})
+
+
+class TestTelemetryCostRule:
+    def test_exact_findings(self):
+        found, violations = locations(TelemetryCostRule())
+        assert found == [
+            ("hook_bad.py", 9, 8),  # unguarded self.on_event(...)
+            ("hook_bad.py", 25, 8),  # event_hook()(...) called directly
+            ("hook_bad.py", 29, 8),  # unguarded local hook
+        ]
+        assert "self.on_event" in violations[0].message
+        assert "event_hook() result called" in violations[1].message
+        assert "hook 'hook'" in violations[2].message
+
+    def test_guarded_calls_are_silent(self):
+        # is-not-None, truthy, early-return and assert guards: lines
+        # 13, 17, 22, 34, 39.
+        found, _ = locations(TelemetryCostRule())
+        flagged_lines = {line for _, line, _ in found}
+        assert flagged_lines.isdisjoint({13, 17, 22, 34, 39})
+
+
+class TestSchedulerTiebreakRule:
+    def test_exact_findings(self):
+        found, violations = locations(SchedulerTiebreakRule())
+        assert found == [
+            ("sched_bad.py", 5, 4),  # schedule without priority
+            ("sched_bad.py", 26, 4),  # schedule_at without priority
+            ("sched_bad.py", 30, 4),  # schedule_many without priority
+        ]
+        assert "schedule()" in violations[0].message
+        assert "schedule_at()" in violations[1].message
+        assert "schedule_many()" in violations[2].message
+
+    def test_explicit_and_jittered_are_silent(self):
+        # priority kwarg (9), positional priority (13), jittered delay
+        # (17), local bound from a draw (22).
+        found, _ = locations(SchedulerTiebreakRule())
+        flagged_lines = {line for _, line, _ in found}
+        assert flagged_lines.isdisjoint({9, 13, 17, 22})
+
+
+class TestSuppressionsCoverFlowRules:
+    def test_inline_disable_silences_flow_finding(self, tmp_path):
+        path = tmp_path / "late.py"
+        path.write_text(
+            "def go(sim, cb):\n"
+            "    sim.schedule(0.1, cb)  # repro-lint: disable=RL008\n"
+        )
+        violations, _ = lint_paths(
+            [str(path)], rules=[SchedulerTiebreakRule()]
+        )
+        assert violations == []

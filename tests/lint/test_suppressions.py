@@ -34,3 +34,24 @@ class TestScan:
     def test_unknown_future_codes_accepted(self):
         sup = Suppressions.scan("x = 1  # repro-lint: disable=RL099\n")
         assert sup.covers("RL099", 1)
+
+    def test_directive_inside_docstring_is_documentation(self):
+        source = (
+            '"""Write ``# repro-lint: disable=RL001`` to suppress.\n'
+            "\n"
+            "Or ``# repro-lint: disable-file=RL003`` for the file.\n"
+            '"""\n'
+            "x = 1\n"
+        )
+        sup = Suppressions.scan(source)
+        assert not sup.covers("RL001", 1)
+        assert sup.file_level == frozenset()
+        assert sup.directives == ()
+
+    def test_broken_file_falls_back_to_line_scan(self):
+        source = (
+            "def broken(:\n"
+            "x = 1  # repro-lint: disable=RL001\n"
+        )
+        sup = Suppressions.scan(source)
+        assert sup.covers("RL001", 2)
