@@ -214,17 +214,28 @@ class QualityAdapter:
         buf_drop = safety[layer]
         required = formulas.draining_recovery_requirement(
             self.rate_fn(), self.consumption, self.slope)
+        drainable = self._drainable_total()
+        consumption = self.consumption  # na*C as the drop rule saw it
         self.metrics.record_drop(DropEvent(
             time=now, layer=layer, buf_drop=buf_drop, buf_total=buf_total,
             required=required, cause=cause,
-            drainable=self._drainable_total()))
+            drainable=drainable))
         self.buffers.deactivate(layer)
         self.active_layers -= 1
         self._shortfall_debt[layer] = 0.0
         self._retransmit_debt[layer] = 0.0
+        # Every drop is annotated with the section 2.2 inequality inputs
+        # (R, na*C, S, sqrt(2*S*buf)) regardless of which critical
+        # situation triggered it, so a decision log can always answer
+        # "would the rule alone have fired here?".
+        rate = self.rate_fn()
         self._emit("drop", layer=layer, cause=cause.value,
                    active=self.active_layers, buf_drop=buf_drop,
-                   buf_total=buf_total, required=required)
+                   buf_total=buf_total, required=required,
+                   rate=rate, consumption=consumption,
+                   slope=self.slope, drainable=drainable,
+                   threshold=formulas.drop_threshold(self.slope, drainable),
+                   buffers=safety)
         if self._frozen_rate is not None:
             self._refreeze_sequence()
         self._invalidate_plan()
@@ -321,6 +332,12 @@ class QualityAdapter:
             if self._retransmit_debt[layer] >= self.config.packet_size:
                 self._retransmit_debt[layer] -= self.config.packet_size
                 self.retransmitted_bytes += self.config.packet_size
+                if self.on_event is not None:
+                    self.on_event(self.now_fn(), "retransmit", {
+                        "layer": layer,
+                        "nbytes": self.config.packet_size,
+                        "debt": self._retransmit_debt[layer],
+                    })
                 return layer
         return None
 
@@ -376,7 +393,25 @@ class QualityAdapter:
         self._update_slope()
 
         if self.is_filling():
-            self._maybe_add(rate)
+            added = self._maybe_add(rate)
+            if self.on_event is not None:
+                # One causal record per coarse-grain add evaluation (not
+                # per packet: _pick_filling also probes _maybe_add, but
+                # the tick cadence is the decision loop the paper
+                # describes). kmax_margin is the worst layer's headroom
+                # over the Figure-4 targets — negative says why the add
+                # was refused, None means the layer ceiling.
+                self.on_event(now, "add_eval", {
+                    "rate": rate,
+                    "average_rate": self.average_rate,
+                    "consumption": self.consumption,
+                    "active": self.active_layers,
+                    "kmax_margin": self.add_drop.kmax_margin(
+                        rate, self.active_layers, self.buffer_levels(),
+                        self.slope, base_reserve=self._base_reserve()),
+                    "buffers": self.buffer_levels(),
+                    "added": added,
+                })
         else:
             self._apply_drop_rule(rate)
             self._ensure_plan(now)
@@ -419,6 +454,17 @@ class QualityAdapter:
             total = self._drainable_total()
             keep = self.add_drop.layers_after_drop_rule(
                 rate, total, self.active_layers, self.slope)
+            if self.on_event is not None:
+                self.on_event(self.now_fn(), "drop_rule", {
+                    "rate": rate,
+                    "consumption": self.consumption,
+                    "slope": self.slope,
+                    "drainable": total,
+                    "threshold": formulas.drop_threshold(self.slope, total),
+                    "active": self.active_layers,
+                    "keep": keep,
+                    "buffers": self.safety_levels(),
+                })
             if keep >= self.active_layers:
                 return
             self._drop_top_layer(DropCause.RULE)

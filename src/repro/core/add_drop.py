@@ -25,7 +25,7 @@ the deficit triangle exceeds what total buffering can cover.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core import formulas
 from repro.core.config import QAConfig
@@ -103,6 +103,35 @@ class AddDropPolicy:
         return all(
             buffers[i] + formulas.EPSILON >= targets[i]
             for i in range(active_layers)
+        )
+
+    def kmax_margin(
+        self,
+        rate: BytesPerSec,
+        active_layers: int,
+        buffers: Sequence[Bytes],
+        slope: BytesPerSec2,
+        base_reserve: Bytes = 0.0,
+    ) -> Optional[Bytes]:
+        """Worst-layer headroom over the ``K_max`` smoothing targets.
+
+        ``min_i(buffers[i] - targets[i])`` against the final state of the
+        ``K_max`` sequence (the ``buffer_only`` add condition): positive
+        means every layer holds its recovery share and an add is
+        buffer-feasible, negative says how many bytes the worst layer is
+        short. ``None`` at the codec's layer ceiling, where no add can
+        ever happen. This is diagnostic-only (decision records): the add
+        path keeps its own exact rule in :meth:`can_add`.
+        """
+        cfg = self.config
+        if active_layers >= cfg.max_layers:
+            return None
+        targets = list(StateSequence(
+            rate, cfg.layer_rate, active_layers, slope, cfg.k_max
+        ).final_targets)
+        targets[0] += base_reserve
+        return min(
+            buffers[i] - targets[i] for i in range(active_layers)
         )
 
     # ----------------------------------------------------------- dropping

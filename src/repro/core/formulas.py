@@ -123,6 +123,17 @@ def draining_recovery_requirement(rate: BytesPerSec,
     return triangle_area(consumption - rate, slope)
 
 
+def drop_threshold(slope: BytesPerSec2, total_buffer: Bytes) -> BytesPerSec:
+    """The section 2.2 comparison level ``sqrt(2 * S * total_buf)``.
+
+    The largest deficit ``na*C - R`` the buffered data can still absorb:
+    inverting equation (1), a triangle of height ``sqrt(2*S*A)`` has
+    area ``A``. Exposed separately so decision records can log the exact
+    right-hand side the drop rule compared against.
+    """
+    return math.sqrt(max(0.0, 2.0 * slope * total_buffer))
+
+
 def layers_to_keep(rate: BytesPerSec, total_buffer: Bytes,
                    layer_rate: BytesPerSec, slope: BytesPerSec2,
                    active_layers: int) -> int:
@@ -137,7 +148,7 @@ def layers_to_keep(rate: BytesPerSec, total_buffer: Bytes,
     """
     if active_layers < 1:
         raise ValueError("need at least one active layer")
-    threshold = math.sqrt(max(0.0, 2.0 * slope * total_buffer))
+    threshold = drop_threshold(slope, total_buffer)
     na = active_layers
     while na > 1 and na * layer_rate - rate >= threshold - EPSILON:
         na -= 1

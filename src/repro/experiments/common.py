@@ -61,6 +61,10 @@ class WorkloadConfig:
     cbr_fraction: float = 0.0
     cbr_start: float = 30.0
     cbr_stop: float = 60.0
+    # Observability (off by default: golden runs record nothing)
+    record_decisions: bool = False
+    recorder_capacity: int = 65536
+    collect_metrics: bool = False
 
     def qa_config(self) -> QAConfig:
         return QAConfig(
@@ -128,6 +132,9 @@ class PaperWorkload:
         cbr_flows = [f for f in self.scenario.flows if f.kind == "cbr"]
         self.cbr: Optional[CbrSource] = (
             cbr_flows[0].source if cbr_flows else None)
+        # Scenario-owned observability sinks, surfaced for reports.
+        self.recorder = self.scenario.recorder
+        self.metrics = self.scenario.metrics
 
     # ------------------------------------------------------------- builders
 
@@ -172,6 +179,9 @@ class PaperWorkload:
             ),
             duration=cfg.duration,
             seed=cfg.seed,
+            record_decisions=cfg.record_decisions,
+            recorder_capacity=cfg.recorder_capacity,
+            collect_metrics=cfg.collect_metrics,
         )
 
     def component_rng(self, label: str) -> SeededRNG:

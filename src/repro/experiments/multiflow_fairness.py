@@ -76,12 +76,17 @@ class MultiflowResult:
 def build_scenario(n_qa: int, n_tcp: int = 4, *,
                    duration: float = 30.0, seed: int = 1,
                    layer_rate: float = 6500.0, packet_size: int = 500,
-                   telemetry: bool = True) -> Scenario:
+                   telemetry: bool = True,
+                   record_decisions: bool = False,
+                   collect_metrics: bool = False) -> Scenario:
     """The shared scenario: ``n_qa`` QA flows + ``n_tcp`` TCP flows on a
     dumbbell provisioned at :data:`PER_FLOW_BANDWIDTH` per flow.
 
     QA flows all start at t=0 with identical configs; TCP start times
     are drawn from each flow's own spawned RNG stream.
+    ``record_decisions``/``collect_metrics`` attach the scenario's
+    flight recorder and metrics registry (``repro-report`` turns them
+    on; the golden sweep leaves them off).
     """
     qa_config = QAConfig(layer_rate=layer_rate, packet_size=packet_size)
     flows = tuple(
@@ -99,6 +104,8 @@ def build_scenario(n_qa: int, n_tcp: int = 4, *,
         duration=duration,
         seed=seed,
         telemetry=telemetry,
+        record_decisions=record_decisions,
+        collect_metrics=collect_metrics,
     ))
 
 

@@ -224,9 +224,16 @@ def run_experiments(names: Sequence[str], *,
 
 
 def build_manifest(records: Sequence[RunRecord], *,
-                   jobs: int, cache: Optional[ResultCache]) -> dict:
-    """The run manifest: schema documented in docs/MECHANISM.md."""
-    return {
+                   jobs: int, cache: Optional[ResultCache],
+                   observability: Optional[dict] = None) -> dict:
+    """The run manifest: schema documented in docs/MECHANISM.md.
+
+    ``observability`` (when given and non-empty) attaches a recorder
+    digest / metrics snapshot block, produced by
+    :meth:`repro.scenario.Scenario.observability` — runs without
+    instrumentation keep the historical manifest shape exactly.
+    """
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
         "jobs": jobs,
@@ -246,6 +253,9 @@ def build_manifest(records: Sequence[RunRecord], *,
             for r in records
         ],
     }
+    if observability:
+        manifest["observability"] = observability
+    return manifest
 
 
 # --------------------------------------------------------------------- CLI

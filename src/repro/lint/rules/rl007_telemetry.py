@@ -8,19 +8,26 @@ call through a variable holding ``bus.event_hook()``) either crashes
 when telemetry is off or, more insidiously, rebuilds the kwargs dict per
 packet and erases the benchmark win the engine refactor bought.
 
+PR 5 widened the contract to the whole observability surface: the
+metrics registry's ``counter_hook``/``gauge_hook``/``histogram_hook``
+factories and the flight recorder's ``hook`` factory follow the same
+protocol — ``None`` when the sink is disabled, a bound sample method
+when enabled — so their results get the same enforcement.
+
 The rule tracks hook values through each function -- parameters and
-attributes named ``on_event`` plus any local bound from an
-``event_hook()`` call -- and requires every *call* of one to be
-dominated by a ``None`` guard of that same expression (``if hook is not
-None:``, ``if hook:``, an early ``if hook is None: return``, or an
-``assert hook is not None``). The telemetry package itself is exempt:
-it is the implementation of the switch, not a producer.
+attributes named ``on_event``, class attributes assigned from a hook
+factory (``self._tx_hook = registry.counter_hook(...)``), and locals
+bound from either -- and requires every *call* of one to be dominated
+by a ``None`` guard of that same expression (``if hook is not None:``,
+``if hook:``, an early ``if hook is None: return``, or an ``assert hook
+is not None``). The telemetry package itself is exempt: it is the
+implementation of the switch, not a producer.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import ClassVar, Optional, Sequence
+from typing import ClassVar, FrozenSet, Optional, Sequence
 
 from repro.lint.flow.project import Project
 from repro.lint.rules.base import FlowRule, dotted_name
@@ -28,20 +35,62 @@ from repro.lint.violations import Violation
 
 _EXEMPT_PREFIX = "repro.telemetry"
 _HOOK_ATTR = "on_event"
-_HOOK_FACTORY = "event_hook"
+#: Factory methods whose result is "None when disabled, else a bound
+#: sample method": the telemetry bus, the metrics registry, and the
+#: flight recorder (``recorder.hook(source)``).
+_HOOK_FACTORIES = frozenset({
+    "event_hook", "counter_hook", "gauge_hook", "histogram_hook", "hook",
+})
 
 
 def _terminates(stmt: ast.stmt) -> bool:
     return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
 
 
+def _is_hook_factory_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _HOOK_FACTORIES
+    )
+
+
+def _hook_attrs_of_class(cls: ast.ClassDef) -> FrozenSet[str]:
+    """Attribute names the class binds from hook factories.
+
+    ``self._tx_hook = registry.counter_hook(...)`` anywhere in the class
+    makes ``self._tx_hook`` a hook-valued attribute in *every* method.
+    """
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        value: Optional[ast.expr] = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value = node.value
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value = node.value
+            targets = [node.target]
+        if value is None or not _is_hook_factory_call(value):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return frozenset(attrs)
+
+
 class TelemetryCostRule(FlowRule):
     code: ClassVar[str] = "RL007"
     title: ClassVar[str] = "telemetry cost"
     rationale: ClassVar[str] = (
-        "event hooks are None when telemetry is disabled; calling one "
-        "(and building its event) outside a None-guard crashes or taxes "
-        "the per-packet hot path"
+        "observability hooks (event hooks, metric hooks, recorder hooks) "
+        "are None when their sink is disabled; calling one (and building "
+        "its sample) outside a None-guard crashes or taxes the per-packet "
+        "hot path"
     )
 
     def check_project(self, project: Project) -> list[Violation]:
@@ -50,20 +99,35 @@ class TelemetryCostRule(FlowRule):
             if name == _EXEMPT_PREFIX or name.startswith(_EXEMPT_PREFIX + "."):
                 continue
             info = project.modules[name]
+            # Pre-pass: which attributes hold factory-made hooks, per
+            # enclosing class, so every method knows its hook attrs.
+            attrs_of: dict[ast.FunctionDef, FrozenSet[str]] = {}
+            for node in ast.walk(info.ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                attrs = _hook_attrs_of_class(node)
+                if not attrs:
+                    continue
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.FunctionDef):
+                        attrs_of[sub] = attrs_of.get(sub, frozenset()) | attrs
             for node in ast.walk(info.ctx.tree):
                 if isinstance(node, ast.FunctionDef):
-                    checker = _FunctionChecker(self, info.ctx)
+                    checker = _FunctionChecker(
+                        self, info.ctx, attrs_of.get(node, frozenset()))
                     checker.check(node)
                     out.extend(checker.out)
         return out
 
 
 class _FunctionChecker:
-    def __init__(self, rule: TelemetryCostRule, ctx) -> None:
+    def __init__(self, rule: TelemetryCostRule, ctx,
+                 hook_attrs: FrozenSet[str] = frozenset()) -> None:
         self.rule = rule
         self.ctx = ctx
         self.out: list[Violation] = []
         self.hook_names: set[str] = set()
+        self.hook_attrs = hook_attrs
 
     def check(self, func: ast.FunctionDef) -> None:
         args = func.args
@@ -89,25 +153,33 @@ class _FunctionChecker:
             elif isinstance(node, ast.NamedExpr):
                 value = node.value
                 targets = [node.target]
-            if value is None or not self._is_hook_factory_call(value):
+            if value is None or not self._is_hook_value(value):
                 continue
             for target in targets:
                 if isinstance(target, ast.Name):
                     self.hook_names.add(target.id)
 
-    @staticmethod
-    def _is_hook_factory_call(node: ast.expr) -> bool:
+    def _is_hook_value(self, node: ast.expr) -> bool:
+        """Does this expression produce a maybe-None hook?
+
+        Either a factory call (``registry.counter_hook(...)``) or a load
+        of a known hook attribute (``hook = self._tx_hook`` — the
+        "locals from attrs" pattern the Link hot path uses).
+        """
+        if _is_hook_factory_call(node):
+            return True
         return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == _HOOK_FACTORY
+            isinstance(node, ast.Attribute)
+            and (node.attr == _HOOK_ATTR or node.attr in self.hook_attrs)
         )
 
     def _hook_key(self, node: ast.expr) -> Optional[str]:
         """Canonical key if ``node`` is a hook-valued expression."""
         if isinstance(node, ast.Name) and node.id in self.hook_names:
             return node.id
-        if isinstance(node, ast.Attribute) and node.attr == _HOOK_ATTR:
+        if isinstance(node, ast.Attribute) and (
+            node.attr == _HOOK_ATTR or node.attr in self.hook_attrs
+        ):
             return dotted_name(node)
         return None
 
@@ -204,13 +276,14 @@ class _FunctionChecker:
                 continue
             if not isinstance(node, ast.Call):
                 continue
-            if self._is_hook_factory_call(node.func):
+            if _is_hook_factory_call(node.func):
+                factory = node.func.func.attr  # type: ignore[attr-defined]
                 self.out.append(
                     self.ctx.violation(
                         node,
                         self.rule.code,
-                        "event_hook() result called without a None-guard; "
-                        "bind it and guard before building the event",
+                        f"{factory}() result called without a None-guard; "
+                        "bind it and guard before building the sample",
                     )
                 )
                 continue
@@ -221,7 +294,7 @@ class _FunctionChecker:
                         node,
                         self.rule.code,
                         f"hook '{key}' called outside an "
-                        f"'if {key} is not None' guard; a disabled bus "
-                        f"hands producers None",
+                        f"'if {key} is not None' guard; a disabled "
+                        f"sink hands producers None",
                     )
                 )

@@ -16,7 +16,7 @@ flows consumed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.scenario.result import FlowResult, ScenarioResult
 from repro.scenario.specs import (
@@ -35,7 +35,7 @@ from repro.sim.node import Host
 from repro.sim.parking_lot import ParkingLot, ParkingLotConfig
 from repro.sim.rng import SeededRNG, make_rng
 from repro.sim.topology import Dumbbell, DumbbellConfig
-from repro.telemetry import TelemetryBus
+from repro.telemetry import FlightRecorder, MetricsRegistry, TelemetryBus
 from repro.transport import (
     CbrSink,
     CbrSource,
@@ -76,12 +76,23 @@ class Scenario:
         self.config = config
         self.rng: SeededRNG = make_rng(config.seed)
         self.sim = Simulator()
+        # Shared observability sinks: one causal decision log and one
+        # metrics registry per scenario, fed by every flow and backbone
+        # link. Both are disabled (and cost nothing) unless asked for.
+        self.recorder = FlightRecorder(
+            capacity=config.recorder_capacity,
+            enabled=config.record_decisions)
+        self.metrics = MetricsRegistry(enabled=config.collect_metrics)
         self.network: Union[Dumbbell, ParkingLot]
         if isinstance(config.topology, ParkingLotConfig):
             self.network = ParkingLot(self.sim, config.topology)
         else:
             self.network = Dumbbell(self.sim, replace(
                 config.topology, n_pairs=len(config.flows)))
+        if config.collect_metrics:
+            for link in self.backbone_links:
+                link.attach_metrics(self.metrics)
+            self.metrics.register_collector(self._collect_engine)
 
         self.flows: list[BuiltFlow] = []
         for index, spec in enumerate(config.flows):
@@ -136,11 +147,21 @@ class Scenario:
             return self._build_cbr(index, spec, label, src, dst)
         raise TypeError(f"unknown flow spec: {spec!r}")
 
+    def _collect_engine(self, registry: MetricsRegistry) -> None:
+        registry.gauge(
+            "engine_events_total", "Events executed by the simulator"
+        ).set(float(self.sim.events_processed))
+        registry.gauge(
+            "engine_sim_time_seconds", "Current simulation clock"
+        ).set(self.sim.now)
+
     def _build_qa(self, index: int, spec: QAFlowSpec, label: str,
                   src: Host, dst: Host) -> BuiltFlow:
         bus = TelemetryBus(self.sim,
                            enabled=self.config.telemetry,
-                           decimate=self.config.telemetry_decimate)
+                           decimate=self.config.telemetry_decimate,
+                           recorder=self.recorder,
+                           source=label)
         session = StreamingSession(
             self.sim, src, dst, spec.config,
             start=spec.start,
@@ -151,9 +172,44 @@ class Scenario:
         )
         if spec.stop is not None:
             self.sim.schedule_at(spec.stop, session.stop, priority=0)
+        if self.config.collect_metrics:
+            self.metrics.register_collector(
+                self._flow_collector(label, session))
         return BuiltFlow(index, spec, label, session.server.flow_id,
                          spec.start, session.server.rap,
                          sink=session.client, session=session)
+
+    @staticmethod
+    def _flow_collector(
+        label: str, session: StreamingSession
+    ) -> Callable[[MetricsRegistry], None]:
+        """Collector gauging one QA flow's live state at export time."""
+        adapter = session.server.adapter
+        transport = session.server.rap
+
+        def _collect(registry: MetricsRegistry) -> None:
+            registry.gauge(
+                "qa_active_layers", "Currently active layers",
+                flow=label).set(float(adapter.active_layers))
+            registry.gauge(
+                "qa_total_buffer_bytes",
+                "Estimated receiver buffering across active layers",
+                flow=label).set(adapter.buffers.total(adapter.active_layers))
+            registry.gauge(
+                "qa_retransmitted_bytes",
+                "Bytes re-sent for protected low layers",
+                flow=label).set(adapter.retransmitted_bytes)
+            registry.gauge(
+                "transport_rate_bytes_per_sec",
+                "Current transmission rate", flow=label).set(transport.rate)
+            registry.gauge(
+                "transport_backoffs_total", "AIMD halvings so far",
+                flow=label).set(float(transport.stats.backoffs))
+            registry.gauge(
+                "transport_packets_lost_total", "Losses detected so far",
+                flow=label).set(float(transport.stats.packets_lost))
+
+        return _collect
 
     def _build_rap(self, index: int, spec: RapFlowSpec, label: str,
                    src: Host, dst: Host, rng: SeededRNG) -> BuiltFlow:
@@ -228,3 +284,16 @@ class Scenario:
             fairness=fairness,
             link_utilization=utilization,
         )
+
+    def observability(self) -> dict[str, object]:
+        """Manifest-ready summary of the run's observability sinks.
+
+        Empty when both the recorder and the metrics registry are off —
+        a disabled run must not grow new manifest keys.
+        """
+        out: dict[str, object] = {}
+        if self.recorder.enabled:
+            out["recorder"] = self.recorder.summary()
+        if self.metrics.enabled:
+            out["metrics"] = self.metrics.snapshot()
+        return out

@@ -98,6 +98,13 @@ class ScenarioConfig:
             logging (near-zero tracing cost).
         telemetry_decimate: sample every Nth period (N >= 1).
         monitor_period: FlowMonitor throughput sampling period (seconds).
+        record_decisions: True attaches a shared flight recorder so QA
+            adapters and transports log causal decision records
+            (independent of ``telemetry``: the causal log works even
+            with time-series sampling off).
+        recorder_capacity: flight-recorder ring size (records).
+        collect_metrics: True attaches a shared metrics registry to the
+            backbone links and flows (counters/gauges/histograms).
     """
 
     flows: tuple[FlowSpec, ...] = ()
@@ -107,10 +114,15 @@ class ScenarioConfig:
     telemetry: bool = True
     telemetry_decimate: int = 1
     monitor_period: float = 1.0
+    record_decisions: bool = False
+    recorder_capacity: int = 65536
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if not self.flows:
             raise ValueError("a scenario needs at least one flow")
+        if self.recorder_capacity < 1:
+            raise ValueError("recorder_capacity must be >= 1")
         if isinstance(self.topology, ParkingLotConfig):
             want = self.topology.n_hops + 1
             if len(self.flows) != want:

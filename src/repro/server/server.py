@@ -46,7 +46,10 @@ class VideoServer:
             self.config = config
 
         # Any AIMD transport with RAP's hook signature works here (the
-        # paper's section-7 plan); see repro.transport.aimd.
+        # paper's section-7 plan); see repro.transport.aimd. The
+        # adapter's event hook is shared with the transport so backoffs,
+        # losses and timeouts land in the same decision log as the
+        # add/drop choices they caused.
         self.rap = transport_cls(
             sim, host, client_name,
             packet_size=config.packet_size,
@@ -55,6 +58,7 @@ class VideoServer:
             on_ack=self._on_ack,
             on_loss=self._on_loss,
             on_backoff=self._on_backoff,
+            on_event=on_event,
         )
         self.adapter = adapter_cls(
             config,

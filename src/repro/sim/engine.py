@@ -96,6 +96,10 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._obs_timer: Optional[Callable[[], float]] = None
+        self._obs_record: Optional[
+            Callable[[Callable[..., None], float, int], None]
+        ] = None
 
     @property
     def now(self) -> float:
@@ -198,6 +202,28 @@ class Simulator:
             return True
         return False
 
+    def instrument(
+        self,
+        timer: Callable[[], float],
+        record: Callable[[Callable[..., None], float, int], None],
+    ) -> None:
+        """Attach a dispatch observer (see ``repro.telemetry.engine``).
+
+        ``record(callback, seconds, heap_depth)`` is called after every
+        dispatched event with the handler, its ``timer``-measured run
+        time, and the pending-event count. While an observer is attached
+        :meth:`run` uses a separate loop; the uninstrumented fast path
+        is untouched. The timer is injected because this module must not
+        read wall clocks itself (determinism rule RL001).
+        """
+        self._obs_timer = timer
+        self._obs_record = record
+
+    def uninstrument(self) -> None:
+        """Detach the dispatch observer and restore the fast path."""
+        self._obs_timer = None
+        self._obs_record = None
+
     def run(self, until: Optional[float] = None, max_events: int = 0) -> None:
         """Run events until the heap drains or ``until`` seconds elapse.
 
@@ -205,6 +231,9 @@ class Simulator:
         the clock finishes at ``until`` even if the heap drained earlier.
         ``max_events`` (when nonzero) bounds total events as a runaway guard.
         """
+        if self._obs_record is not None:
+            self._run_observed(until, max_events)
+            return
         self._running = True
         heap = self._heap
         pop = heapq.heappop
@@ -228,6 +257,53 @@ class Simulator:
                     event.callback(*event.args)
                 else:
                     event.callback()
+                processed += 1
+                if max_events and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway sim?)"
+                    )
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def _run_observed(
+        self, until: Optional[float] = None, max_events: int = 0
+    ) -> None:
+        """:meth:`run` with the dispatch observer in the loop.
+
+        A duplicate of the fast-path loop rather than a conditional
+        inside it: the per-event branch would tax every uninstrumented
+        run, and this loop only exists while someone is profiling.
+        """
+        timer = self._obs_timer
+        record = self._obs_record
+        assert timer is not None and record is not None
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while self._running and heap:
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                pop(heap)
+                if event.time < self._now:
+                    raise SimulationError(
+                        "event heap yielded an event in the past"
+                    )
+                self._now = event.time
+                self._events_processed += 1
+                started = timer()
+                if event.args:
+                    event.callback(*event.args)
+                else:
+                    event.callback()
+                record(event.callback, timer() - started, len(heap))
                 processed += 1
                 if max_events and processed >= max_events:
                     raise SimulationError(

@@ -10,11 +10,14 @@ source of packet loss in the paper's simulations.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - layering: sim never imports
+    from repro.telemetry.metrics import MetricsRegistry  # telemetry at runtime
 
 Receiver = Callable[[Packet], None]
 
@@ -51,10 +54,38 @@ class Link:
         self._busy = False
         self.bytes_forwarded = 0
         self.packets_forwarded = 0
+        # Metrics hooks (None unless attach_metrics ran): the hot path
+        # pays one attribute load + None check when metrics are off.
+        self._forward_hook: Optional[Callable[[float], None]] = None
+        self._qdrop_hook: Optional[Callable[[float], None]] = None
 
     def connect(self, receiver: Receiver) -> None:
         """Attach the downstream receiver (a node's ``receive`` method)."""
         self.receiver = receiver
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Wire this link into a metrics registry.
+
+        Per-packet counters (forwarded bytes/packets, queue drops) bind
+        as hooks that are ``None`` when the registry is disabled (RL007
+        discipline); the queue-depth gauge is collector-fed, read only
+        at export time.
+        """
+        self._forward_hook = registry.counter_hook(
+            "link_tx_bytes_total", "Bytes serialized onto the wire",
+            link=self.name)
+        self._qdrop_hook = registry.counter_hook(
+            "link_queue_drops_total", "Packets dropped at the full queue",
+            link=self.name)
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry: "MetricsRegistry") -> None:
+        registry.gauge(
+            "link_queue_depth", "Packets waiting in the output queue",
+            link=self.name).set(float(len(self.queue)))
+        registry.gauge(
+            "link_packets_forwarded", "Packets forwarded end to end",
+            link=self.name).set(float(self.packets_forwarded))
 
     @property
     def busy(self) -> bool:
@@ -74,6 +105,9 @@ class Link:
         if self.receiver is None:
             raise RuntimeError(f"{self.name}: receiver not connected")
         if not self.queue.enqueue(packet):
+            hook = self._qdrop_hook
+            if hook is not None:
+                hook(1.0)
             return False
         if not self._busy:
             self._start_transmission()
@@ -93,6 +127,9 @@ class Link:
     def _transmission_done(self, packet: Packet) -> None:
         self.bytes_forwarded += packet.size
         self.packets_forwarded += 1
+        hook = self._forward_hook
+        if hook is not None:
+            hook(float(packet.size))
         # Propagation: deliver after `delay`; the transmitter frees up now.
         self.sim.schedule(
             self.delay, self._deliver, priority=0, args=(packet,)

@@ -18,15 +18,41 @@ or not anyone looked at the series. This package splits that into:
 Adapter events (add/drop/backoff) flow through :meth:`TelemetryBus.
 event_hook`, which is ``None`` when the bus is disabled so producers
 skip the call entirely.
+
+On top of the bus sit three observability layers (see
+``docs/OBSERVABILITY.md``):
+
+- :class:`FlightRecorder` — a bounded, seed-stable causal log of
+  *decisions* (drop-rule evaluations with their §2.2 inputs, layer
+  adds/drops, transport backoffs) exported as deterministic JSONL.
+- :class:`MetricsRegistry` — counters/gauges/histograms with labels,
+  RL007 hook discipline (``None`` when disabled), Prometheus text
+  export; :func:`instrument_engine` feeds it per-handler timings and
+  heap depth from the event loop.
+- exporters — :func:`chrome_trace` / :func:`export_chrome_trace`
+  (Perfetto-loadable trace-event JSON) and :func:`export_prometheus`.
 """
 
 from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.engine import EngineInstrumentation, instrument_engine
+from repro.telemetry.exporters import (
+    chrome_trace,
+    export_chrome_trace,
+    export_prometheus,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.telemetry.probes import (
     Probe,
     QueueOccupancyProbe,
     SessionProbe,
     TransportRateProbe,
 )
+from repro.telemetry.recorder import DecisionRecord, FlightRecorder
 
 __all__ = [
     "TelemetryBus",
@@ -34,4 +60,15 @@ __all__ = [
     "SessionProbe",
     "QueueOccupancyProbe",
     "TransportRateProbe",
+    "DecisionRecord",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EngineInstrumentation",
+    "instrument_engine",
+    "chrome_trace",
+    "export_chrome_trace",
+    "export_prometheus",
 ]

@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.trace import PeriodicSampler, TimeSeries, Tracer
+from repro.telemetry.recorder import FlightRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry.probes import Probe
@@ -24,6 +25,13 @@ class TelemetryBus:
             probe's effective period by the factor; probes see the
             effective period as their ``dt`` so rate derivations stay
             correct.
+        recorder: optional shared :class:`FlightRecorder`. When it is
+            enabled, :meth:`event_hook` fans every discrete event out to
+            it as a decision record tagged ``source`` — even if the bus
+            itself is disabled, so a run can keep the causal log while
+            skipping time-series cost.
+        source: the label decision records from this bus carry
+            (typically the flow/session name).
     """
 
     def __init__(
@@ -32,6 +40,8 @@ class TelemetryBus:
         tracer: Optional[Tracer] = None,
         enabled: bool = True,
         decimate: int = 1,
+        recorder: Optional[FlightRecorder] = None,
+        source: str = "session",
     ) -> None:
         if decimate < 1:
             raise ValueError(f"decimate must be >= 1, got {decimate}")
@@ -39,6 +49,8 @@ class TelemetryBus:
         self.enabled = enabled
         self.decimate = decimate
         self.tracer = tracer if tracer is not None else Tracer()
+        self.recorder = recorder
+        self.source = source
         self.probes: list["Probe"] = []
         self._samplers: list[PeriodicSampler] = []
 
@@ -80,12 +92,27 @@ class TelemetryBus:
         """An ``on_event(t, kind, fields)`` callable, or None if disabled.
 
         Producers treat ``None`` as "don't even build the event", which
-        keeps the disabled path allocation-free.
+        keeps the disabled path allocation-free. With an enabled flight
+        recorder attached, events fan out to it as decision records;
+        the recorder keeps working even when the bus itself is disabled
+        (causal log without time-series cost). ``None`` only when both
+        sinks are off.
         """
+        recorder = self.recorder
+        record = (
+            recorder.hook(self.source) if recorder is not None else None
+        )
         if not self.enabled:
-            return None
+            return record
         tracer = self.tracer
-        return lambda t, kind, f: tracer.log_event(t, kind, **f)
+        if record is None:
+            return lambda t, kind, f: tracer.log_event(t, kind, **f)
+
+        def _fan_out(t: float, kind: str, f: dict[str, object]) -> None:
+            tracer.log_event(t, kind, **f)
+            record(t, kind, f)
+
+        return _fan_out
 
     # ------------------------------------------------------------ queries
 

@@ -1,0 +1,117 @@
+"""Engine self-profiling: per-handler timing, heap depth, event counts.
+
+:func:`instrument_engine` attaches an observer to a
+:class:`~repro.sim.engine.Simulator` that feeds a
+:class:`~repro.telemetry.metrics.MetricsRegistry`:
+
+- ``engine_handler_calls_total{handler=...}`` — dispatches per handler
+  (the bound method's ``__qualname__``).
+- ``engine_handler_seconds{handler=...}`` — wall-clock histogram of each
+  handler's run time.
+- ``engine_heap_depth`` — histogram of pending-event counts sampled at
+  every dispatch.
+- ``engine_events_total`` / ``engine_sim_time_seconds`` — collector-fed
+  gauges read from the simulator at export time, costing nothing while
+  the run is hot.
+
+The simulator lives in an RL001 determinism zone where wall-clock reads
+are banned, so the caller *injects* the timer (``time.perf_counter``
+from a benchmark or report script); nothing here imports ``time``. When
+the registry is disabled this attaches nothing and the engine keeps its
+uninstrumented fast-path loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.telemetry.metrics import MetricsRegistry, SampleHook
+
+#: Heap-depth histogram bounds: pending-event counts, log-spaced.
+HEAP_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                      256.0, 512.0, 1024.0, 4096.0)
+
+
+def _handler_name(callback: Callable[..., None]) -> str:
+    func = getattr(callback, "__func__", callback)
+    name = getattr(func, "__qualname__", None)
+    if name is None:  # pragma: no cover - exotic callables
+        name = repr(func)
+    return str(name)
+
+
+class EngineInstrumentation:
+    """The observer bound between one simulator and one registry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: MetricsRegistry,
+        timer: Callable[[], float],
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self._heap_depth = registry.histogram(
+            "engine_heap_depth",
+            "Pending events in the scheduler heap at each dispatch",
+            buckets=HEAP_DEPTH_BUCKETS,
+        ).observe
+        # Per-handler hooks, created lazily at first dispatch. Keyed by
+        # the underlying function so every bound method of a class
+        # shares one child per method, not one per instance.
+        self._handlers: dict[object, tuple[SampleHook, SampleHook]] = {}
+        registry.register_collector(self._collect)
+        sim.instrument(timer, self._record)
+
+    def _record(
+        self, callback: Callable[..., None], seconds: float, depth: int
+    ) -> None:
+        func = getattr(callback, "__func__", callback)
+        hooks = self._handlers.get(func)
+        if hooks is None:
+            name = _handler_name(callback)
+            hooks = (
+                self.registry.counter(
+                    "engine_handler_calls_total",
+                    "Event dispatches per handler",
+                    handler=name,
+                ).inc,
+                self.registry.histogram(
+                    "engine_handler_seconds",
+                    "Wall-clock run time per handler dispatch",
+                    handler=name,
+                ).observe,
+            )
+            self._handlers[func] = hooks
+        hooks[0](1.0)
+        hooks[1](seconds)
+        self._heap_depth(float(depth))
+
+    def _collect(self, registry: MetricsRegistry) -> None:
+        registry.gauge(
+            "engine_events_total", "Events executed by the simulator"
+        ).set(float(self.sim.events_processed))
+        registry.gauge(
+            "engine_sim_time_seconds", "Current simulation clock"
+        ).set(self.sim.now)
+
+    def detach(self) -> None:
+        """Restore the engine's uninstrumented fast path."""
+        self.sim.uninstrument()
+
+
+def instrument_engine(
+    sim: Simulator,
+    registry: MetricsRegistry,
+    timer: Callable[[], float],
+) -> Optional[EngineInstrumentation]:
+    """Attach engine self-profiling, or ``None`` if metrics are off.
+
+    ``timer`` is a monotonic wall-clock read (``time.perf_counter``)
+    supplied by the caller — see the module docstring for why it cannot
+    be imported here.
+    """
+    if not registry.enabled:
+        return None
+    return EngineInstrumentation(sim, registry, timer)

@@ -1,0 +1,116 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text files.
+
+Two interchange formats for a finished run:
+
+- :func:`chrome_trace` turns the flight recorder's decision log (and
+  optionally the tracer's time series) into the Chrome trace-event JSON
+  format, loadable in ``about://tracing`` or https://ui.perfetto.dev —
+  each decision source gets its own named track, decisions render as
+  instant events with their inputs attached, and series render as
+  counter tracks.
+- :func:`export_prometheus` writes a :class:`~repro.telemetry.metrics.
+  MetricsRegistry` in the Prometheus text exposition format.
+
+Both are deterministic: same seed, same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Union
+
+from repro.sim.trace import Tracer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import FlightRecorder
+
+_PID = 1
+#: Counter tracks share one synthetic thread id; decision tracks start
+#: above it.
+_COUNTER_TID = 0
+
+
+def chrome_trace(
+    recorder: Optional[FlightRecorder] = None,
+    tracer: Optional[Tracer] = None,
+) -> dict[str, object]:
+    """Build a Chrome trace-event document from a finished run.
+
+    Decision records become instant events (phase ``i``) on one track
+    per source; tracer series become counter events (phase ``C``).
+    Timestamps are simulation seconds scaled to integer microseconds.
+    """
+    events: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _COUNTER_TID,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    if recorder is not None and recorder.enabled:
+        sources = sorted({record.source for record in recorder})
+        tids = {src: _COUNTER_TID + 1 + i for i, src in enumerate(sources)}
+        for src in sources:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tids[src],
+                    "args": {"name": src},
+                }
+            )
+        for record in recorder:
+            events.append(
+                {
+                    "name": record.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": round(record.time * 1e6),
+                    "pid": _PID,
+                    "tid": tids[record.source],
+                    "args": dict(record.fields),
+                }
+            )
+    if tracer is not None:
+        for name in sorted(tracer.series):
+            series = tracer.series[name]
+            for t, v in zip(series.times, series.values):
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": round(t * 1e6),
+                        "pid": _PID,
+                        "tid": _COUNTER_TID,
+                        "args": {"value": v},
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    path: Union[str, pathlib.Path],
+    recorder: Optional[FlightRecorder] = None,
+    tracer: Optional[Tracer] = None,
+) -> pathlib.Path:
+    """Write :func:`chrome_trace` output as deterministic JSON."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = chrome_trace(recorder=recorder, tracer=tracer)
+    target.write_text(
+        json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    return target
+
+
+def export_prometheus(
+    path: Union[str, pathlib.Path], registry: MetricsRegistry
+) -> pathlib.Path:
+    """Write ``registry`` in the Prometheus text exposition format."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(registry.to_prometheus())
+    return target

@@ -1,0 +1,195 @@
+"""The flight recorder: a bounded, seed-stable structured decision log.
+
+Time-series telemetry (the :class:`~repro.telemetry.bus.TelemetryBus`)
+answers *what* happened — rates, buffer levels, layer counts. The flight
+recorder answers *why*: every coarse-grain add/drop decision, every
+§2.2 drop-rule evaluation, every transport backoff lands here as a
+:class:`DecisionRecord` carrying the exact inputs the rule saw (``R``,
+``na*C``, ``sqrt(2*S*buf)``, per-layer buffer levels, the ``K_max``
+margin) and the outcome.
+
+Design constraints, in order:
+
+- **Seed-stable.** Records contain only simulation-derived values
+  (simulation time, byte counts, rates) plus a monotonic sequence
+  number; two runs of the same seed produce bit-for-bit identical JSONL
+  whether they execute serially or in a worker process.
+- **Bounded.** Records live in a ring buffer (``capacity`` entries);
+  old records are evicted FIFO and counted, never silently lost.
+- **Free when off.** A disabled recorder hands producers ``None`` from
+  :meth:`FlightRecorder.hook` — the same RL007 discipline as
+  ``TelemetryBus.event_hook`` — so the hot path never builds a record
+  that nobody will read, and :meth:`write_jsonl` refuses to create a
+  file for a run that recorded nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from collections import deque
+from typing import Callable, Iterator, Mapping, Optional, Union
+
+#: A JSON-serializable decision payload value. Producers hand fields
+#: over as ``Mapping[str, object]`` (matching the adapter's event-hook
+#: signature); anything json.dumps rejects fails loudly at export.
+FieldValue = Union[str, int, float, bool, None, list["FieldValue"]]
+
+#: ``(time, kind, fields)`` — what a producer hands the recorder. The
+#: producer's identity (``source``) is bound into the hook itself.
+RecorderHook = Callable[[float, str, Mapping[str, object]], None]
+
+_JSON_SEPARATORS = (",", ":")
+
+
+class DecisionRecord:
+    """One causal event: who decided what, when, and from which inputs."""
+
+    __slots__ = ("seq", "time", "source", "kind", "fields")
+
+    def __init__(
+        self,
+        seq: int,
+        time: float,
+        source: str,
+        kind: str,
+        fields: Mapping[str, object],
+    ) -> None:
+        self.seq = seq
+        self.time = time
+        self.source = source
+        self.kind = kind
+        self.fields = dict(fields)
+
+    def to_json(self) -> str:
+        """One deterministic JSON line (sorted keys, compact separators)."""
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "t": round(self.time, 9),
+                "src": self.source,
+                "kind": self.kind,
+                "fields": self.fields,
+            },
+            sort_keys=True,
+            separators=_JSON_SEPARATORS,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecisionRecord(seq={self.seq}, t={self.time:.6f}, "
+            f"src={self.source!r}, kind={self.kind!r})"
+        )
+
+
+class FlightRecorder:
+    """Bounded in-memory decision log with deterministic JSONL export."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._records: deque[DecisionRecord] = deque(maxlen=capacity)
+        self._seq = 0
+
+    # ---------------------------------------------------------- recording
+
+    def hook(self, source: str) -> Optional[RecorderHook]:
+        """A ``(time, kind, fields)`` recording callable for ``source``.
+
+        Returns ``None`` when the recorder is disabled; producers must
+        treat that as "don't even build the record" (RL007).
+        """
+        if not self.enabled:
+            return None
+
+        def _record(
+            time: float, kind: str, fields: Mapping[str, object]
+        ) -> None:
+            self.record(time, source, kind, fields)
+
+        return _record
+
+    def record(
+        self,
+        time: float,
+        source: str,
+        kind: str,
+        fields: Mapping[str, object],
+    ) -> None:
+        """Append one decision record (dropped when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(
+            DecisionRecord(self._seq, time, source, kind, fields)
+        )
+        self._seq += 1
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DecisionRecord]:
+        return iter(self._records)
+
+    @property
+    def total_recorded(self) -> int:
+        """Records ever accepted (retained + evicted)."""
+        return self._seq
+
+    @property
+    def evicted(self) -> int:
+        """Records pushed out of the ring buffer by newer ones."""
+        return self._seq - len(self._records)
+
+    def records_of(self, kind: str, source: Optional[str] = None
+                   ) -> list[DecisionRecord]:
+        """Retained records of ``kind`` (optionally from one source)."""
+        return [
+            r for r in self._records
+            if r.kind == kind and (source is None or r.source == source)
+        ]
+
+    # ------------------------------------------------------------- export
+
+    def to_jsonl(self) -> str:
+        """The retained records as JSONL (one record per line)."""
+        if not self._records:
+            return ""
+        return "\n".join(r.to_json() for r in self._records) + "\n"
+
+    def digest(self) -> str:
+        """sha256 of :meth:`to_jsonl` — the run's causal fingerprint."""
+        return hashlib.sha256(self.to_jsonl().encode()).hexdigest()
+
+    def write_jsonl(self, path: Union[str, pathlib.Path]
+                    ) -> Optional[pathlib.Path]:
+        """Write the JSONL log to ``path``.
+
+        A disabled recorder writes nothing and returns ``None`` — runs
+        with telemetry off must not scatter empty artifacts.
+        """
+        if not self.enabled:
+            return None
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_jsonl())
+        return target
+
+    def summary(self) -> dict[str, object]:
+        """Manifest-ready digest block (counts, eviction, sha256)."""
+        kinds: dict[str, int] = {}
+        for record in self._records:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "recorded": self.total_recorded,
+            "retained": len(self._records),
+            "evicted": self.evicted,
+            "kinds": dict(sorted(kinds.items())),
+            "digest": self.digest(),
+        }

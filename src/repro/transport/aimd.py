@@ -28,6 +28,7 @@ from repro.transport.base import TransportAgent, next_flow_id
 from repro.transport.rap import (
     AckHandler,
     BackoffHandler,
+    EventHook,
     LossHandler,
     PayloadPicker,
     RapSink,
@@ -57,6 +58,7 @@ class WindowAimdSource(TransportAgent):
         on_ack: Optional[AckHandler] = None,
         on_loss: Optional[LossHandler] = None,
         on_backoff: Optional[BackoffHandler] = None,
+        on_event: Optional[EventHook] = None,
     ) -> None:
         super().__init__(sim, host, peer_name,
                          flow_id if flow_id is not None else next_flow_id())
@@ -70,6 +72,7 @@ class WindowAimdSource(TransportAgent):
         self.on_ack = on_ack
         self.on_loss = on_loss
         self.on_backoff = on_backoff
+        self.on_event = on_event
 
         self.next_seq = 0
         self.recovery_seq = 0
@@ -144,6 +147,11 @@ class WindowAimdSource(TransportAgent):
         idle = self.sim.now - self._last_ack_time
         if self._outstanding and idle > self.rto:
             self.stats.timeouts += 1
+            if self.on_event is not None:
+                self.on_event(self.sim.now, "transport_timeout", {
+                    "outstanding": len(self._outstanding),
+                    "idle": idle, "rto": self.rto,
+                })
             for seq in sorted(self._outstanding):
                 self._declare_lost(seq)
             self._backoff(self.next_seq)
@@ -159,12 +167,22 @@ class WindowAimdSource(TransportAgent):
         self.cwnd = max(self.MIN_CWND, self.cwnd / 2)
         self.recovery_seq = self.next_seq
         self.stats.backoffs += 1
+        if self.on_event is not None:
+            self.on_event(self.sim.now, "transport_backoff", {
+                "rate": self.rate, "srtt": self.srtt,
+                "cwnd": self.cwnd, "trigger_seq": triggering_seq,
+            })
         if self.on_backoff is not None:
             self.on_backoff(self.rate)
 
     def _declare_lost(self, seq: int) -> None:
         _, meta, size = self._outstanding.pop(seq)
         self.stats.packets_lost += 1
+        if self.on_event is not None:
+            self.on_event(self.sim.now, "transport_loss", {
+                "seq": seq, "size": size,
+                "layer": meta.get("layer"),
+            })
         if self.on_loss is not None:
             self.on_loss(seq, meta, size)
 

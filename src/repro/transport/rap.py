@@ -45,6 +45,9 @@ PayloadPicker = Callable[[int], Optional[dict]]
 AckHandler = Callable[[int, dict, int], None]
 LossHandler = Callable[[int, dict, int], None]
 BackoffHandler = Callable[[float], None]
+#: ``(time, kind, fields)`` decision-record sink (same shape as the
+#: adapter's hook); ``None`` when nobody is recording (RL007).
+EventHook = Callable[[float, str, dict[str, object]], None]
 
 
 class RapSource(TransportAgent):
@@ -72,6 +75,7 @@ class RapSource(TransportAgent):
         on_ack: Optional[AckHandler] = None,
         on_loss: Optional[LossHandler] = None,
         on_backoff: Optional[BackoffHandler] = None,
+        on_event: Optional[EventHook] = None,
     ) -> None:
         super().__init__(sim, host, peer_name,
                          flow_id if flow_id is not None else next_flow_id())
@@ -89,6 +93,7 @@ class RapSource(TransportAgent):
         self.on_ack = on_ack
         self.on_loss = on_loss
         self.on_backoff = on_backoff
+        self.on_event = on_event
 
         self.next_seq = 0
         self.recovery_seq = 0  # seqs below this don't trigger another backoff
@@ -177,6 +182,11 @@ class RapSource(TransportAgent):
         idle = self.sim.now - self._last_ack_time
         if self._outstanding and idle > self.rto:
             self.stats.timeouts += 1
+            if self.on_event is not None:
+                self.on_event(self.sim.now, "transport_timeout", {
+                    "outstanding": len(self._outstanding),
+                    "idle": idle, "rto": self.rto,
+                })
             for seq in sorted(self._outstanding):
                 self._declare_lost(seq)
             self._backoff(self.next_seq)
@@ -190,12 +200,22 @@ class RapSource(TransportAgent):
         self._rate = max(self.min_rate, self._rate / 2)
         self.recovery_seq = self.next_seq
         self.stats.backoffs += 1
+        if self.on_event is not None:
+            self.on_event(self.sim.now, "transport_backoff", {
+                "rate": self._rate, "srtt": self.srtt,
+                "trigger_seq": triggering_seq,
+            })
         if self.on_backoff is not None:
             self.on_backoff(self._rate)
 
     def _declare_lost(self, seq: int) -> None:
         sent_at, meta, size = self._outstanding.pop(seq)
         self.stats.packets_lost += 1
+        if self.on_event is not None:
+            self.on_event(self.sim.now, "transport_loss", {
+                "seq": seq, "size": size,
+                "layer": meta.get("layer"),
+            })
         if self.on_loss is not None:
             self.on_loss(seq, meta, size)
 

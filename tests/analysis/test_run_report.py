@@ -1,0 +1,76 @@
+"""The repro-report pipeline: rendering and artifact emission."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.run_report import main
+from repro.experiments.multiflow_fairness import build_scenario
+
+
+@pytest.fixture(scope="module")
+def report_dir(tmp_path_factory):
+    """One small instrumented run shared by every test in the module."""
+    out = tmp_path_factory.mktemp("report")
+    rc = main(["multiflow", "--n-qa", "2", "--n-tcp", "2",
+               "--duration", "15", "--out", str(out), "--quiet"])
+    assert rc == 0
+    return out
+
+
+class TestArtifacts:
+    def test_all_artifacts_written(self, report_dir):
+        for name in ("report.txt", "flight.jsonl", "metrics.prom",
+                     "trace.json", "manifest.json"):
+            assert (report_dir / name).exists(), name
+
+    def test_report_renders_the_decision_log(self, report_dir):
+        text = (report_dir / "report.txt").read_text()
+        assert "repro-report" in text
+        assert "section 2.2 rule" in text
+        assert "sqrt(2*S*buf)" in text
+        assert "Decision records:" in text
+        assert "Metrics (counters and gauges)" in text
+
+    def test_flight_log_drops_carry_rule_inputs(self, report_dir):
+        drops = [
+            json.loads(line)
+            for line in (report_dir / "flight.jsonl").read_text()
+                                                     .splitlines()
+            if json.loads(line)["kind"] == "drop"
+        ]
+        assert drops, "15 s at this operating point must drop layers"
+        for drop in drops:
+            assert {"rate", "consumption", "slope", "drainable",
+                    "threshold"} <= set(drop["fields"])
+
+    def test_manifest_attaches_observability(self, report_dir):
+        manifest = json.loads((report_dir / "manifest.json").read_text())
+        obs = manifest["observability"]
+        assert obs["recorder"]["recorded"] > 0
+        assert "qa_active_layers" in obs["metrics"]
+        assert manifest["experiments"][0]["name"].startswith("report:")
+
+    def test_chrome_trace_is_well_formed(self, report_dir):
+        trace = json.loads((report_dir / "trace.json").read_text())
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "i" for e in events)  # decision instants
+        assert any(e["ph"] == "M" for e in events)  # thread metadata
+        assert any(e["ph"] == "C" for e in events)  # tracer counters
+
+    def test_prometheus_text_has_engine_metrics(self, report_dir):
+        text = (report_dir / "metrics.prom").read_text()
+        assert "# TYPE engine_handler_seconds histogram" in text
+        assert "engine_events_total" in text
+        assert 'qa_active_layers{flow="qa0"}' in text
+
+
+class TestDisabledRun:
+    def test_uninstrumented_scenario_stays_dark(self):
+        scenario = build_scenario(1, 1, duration=5.0, seed=1)
+        scenario.run()
+        assert len(scenario.recorder) == 0
+        assert scenario.metrics.snapshot() == {}
+        assert scenario.observability() == {}

@@ -1,0 +1,38 @@
+"""Metric/recorder-hook mutations: RL007's observability extension."""
+
+
+class LinkLike:
+    def __init__(self, registry) -> None:
+        self._tx_hook = registry.counter_hook("tx_bytes", link="l0")
+        self._depth_hook = registry.histogram_hook("queue_depth")
+
+    def unguarded_attr(self) -> None:
+        self._tx_hook(500.0)
+
+    def guarded_attr(self) -> None:
+        if self._tx_hook is not None:
+            self._tx_hook(500.0)
+
+    def local_from_attr(self) -> None:
+        hook = self._depth_hook
+        hook(3.0)
+
+    def local_from_attr_guarded(self) -> None:
+        hook = self._depth_hook
+        if hook is not None:
+            hook(3.0)
+
+
+def direct_gauge(registry) -> None:
+    registry.gauge_hook("depth")(2.0)
+
+
+def local_recorder(recorder) -> None:
+    record = recorder.hook("qa0")
+    record(0.0, "drop", {"layer": 2})
+
+
+def local_recorder_guarded(recorder) -> None:
+    record = recorder.hook("qa0")
+    if record is not None:
+        record(0.0, "drop", {"layer": 2})

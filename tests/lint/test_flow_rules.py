@@ -82,17 +82,33 @@ class TestTelemetryCostRule:
             ("hook_bad.py", 9, 8),  # unguarded self.on_event(...)
             ("hook_bad.py", 25, 8),  # event_hook()(...) called directly
             ("hook_bad.py", 29, 8),  # unguarded local hook
+            ("metric_hook_bad.py", 10, 8),  # unguarded counter-hook attr
+            ("metric_hook_bad.py", 18, 8),  # unguarded local from attr
+            ("metric_hook_bad.py", 27, 4),  # gauge_hook()(...) directly
+            ("metric_hook_bad.py", 32, 4),  # unguarded recorder hook
         ]
         assert "self.on_event" in violations[0].message
         assert "event_hook() result called" in violations[1].message
         assert "hook 'hook'" in violations[2].message
+        assert "self._tx_hook" in violations[3].message
+        assert "hook 'hook'" in violations[4].message
+        assert "gauge_hook() result called" in violations[5].message
+        assert "hook 'record'" in violations[6].message
 
     def test_guarded_calls_are_silent(self):
-        # is-not-None, truthy, early-return and assert guards: lines
-        # 13, 17, 22, 34, 39.
+        # hook_bad.py: is-not-None, truthy, early-return and assert
+        # guards at lines 13, 17, 22, 34, 39.
         found, _ = locations(TelemetryCostRule())
-        flagged_lines = {line for _, line, _ in found}
-        assert flagged_lines.isdisjoint({13, 17, 22, 34, 39})
+        flagged = {line for name, line, _ in found if name == "hook_bad.py"}
+        assert flagged.isdisjoint({13, 17, 22, 34, 39})
+
+    def test_guarded_metric_hooks_are_silent(self):
+        # metric_hook_bad.py: guarded attr (14), guarded local from attr
+        # (23), guarded recorder hook (38) must not fire.
+        found, _ = locations(TelemetryCostRule())
+        flagged = {line for name, line, _ in found
+                   if name == "metric_hook_bad.py"}
+        assert flagged.isdisjoint({14, 23, 38})
 
 
 class TestSchedulerTiebreakRule:
