@@ -43,6 +43,29 @@ class ScriptedAimd:
         self._anchor_time = 0.0
         self._pending = sorted(backoff_times)
 
+    @property
+    def pending_backoffs(self) -> tuple[float, ...]:
+        """Scripted backoff instants not yet consumed, in order."""
+        return tuple(self._pending)
+
+    def next_backoff(self) -> Optional[float]:
+        """The next pending backoff instant, or None when exhausted."""
+        return self._pending[0] if self._pending else None
+
+    def clone(self) -> "ScriptedAimd":
+        """An independent copy of the full current state.
+
+        The fluid engine consumes pending backoffs as it advances;
+        clone before a run to drive a second backend from the same
+        trajectory.
+        """
+        out = ScriptedAimd(self._anchor_rate, self.slope,
+                           min_rate=self.min_rate, max_rate=self.max_rate)
+        out._anchor_rate = self._anchor_rate
+        out._anchor_time = self._anchor_time
+        out._pending = list(self._pending)
+        return out
+
     def backoffs_until(self, t: float) -> list[float]:
         """Consume and return scripted backoff times up to ``t``."""
         due = [b for b in self._pending if b <= t]
@@ -90,6 +113,7 @@ class FluidRun:
         duration: float,
         quantum: Optional[int] = None,
         sample_period: float = 0.02,
+        sim: Optional[Simulator] = None,
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -100,7 +124,9 @@ class FluidRun:
         self.bandwidth = bandwidth
         self.duration = duration
         self.sample_period = sample_period
-        self.sim = Simulator()
+        # An external simulator lets a scenario host several scripted
+        # flows on one clock; standalone runs keep their private one.
+        self.sim = sim if sim is not None else Simulator()
         self.tracer = Tracer()
         self.adapter = QualityAdapter(
             self.config,
@@ -114,15 +140,25 @@ class FluidRun:
         self._drained_last = [0.0] * self.config.max_layers
         self._sent_last = [0.0] * self.config.max_layers
 
+    def start(self) -> None:
+        """Schedule the tick and send samplers on the simulator.
+
+        Used directly when the simulator is shared (scenario backend);
+        ``run`` calls it for the standalone case.
+        """
+        PeriodicSampler(self.sim, self.config.drain_period,
+                        lambda _t: self.adapter.tick())
+        PeriodicSampler(self.sim, self.sample_period, self._step)
+
+    def result(self) -> FluidResult:
+        """Traces and adapter state collected so far."""
+        return FluidResult(tracer=self.tracer, adapter=self.adapter)
+
     def run(self) -> FluidResult:
         """Run the scripted scenario to completion and return traces."""
-        sim = self.sim
-        step = self.sample_period
-        PeriodicSampler(sim, self.config.drain_period,
-                        lambda _t: self.adapter.tick())
-        PeriodicSampler(sim, step, self._step)
-        sim.run(until=self.duration)
-        return FluidResult(tracer=self.tracer, adapter=self.adapter)
+        self.start()
+        self.sim.run(until=self.duration)
+        return self.result()
 
     # ------------------------------------------------------------ internals
 

@@ -32,6 +32,7 @@ EXPERIMENTS = {
     "table1": "repro.experiments.table1_efficiency",
     "table2": "repro.experiments.table2_drop_causes",
     "multiflow-fairness": "repro.experiments.multiflow_fairness",
+    "flock-scale": "repro.experiments.flock_scale",
     "ablation-allocators": "repro.experiments.ablation_allocators",
     "ablation-add-rules": "repro.experiments.ablation_add_rules",
     "ablation-static": "repro.experiments.ablation_static",

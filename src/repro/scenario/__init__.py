@@ -20,24 +20,34 @@ parking lot) from a declarative :class:`ScenarioConfig`:
 Flows are built strictly in list order — construction order is the
 event-sequence tie-breaker, so a scenario is bit-for-bit reproducible
 run to run and across the parallel experiment runner.
+
+Two backends run the same config: the packet :class:`Scenario` above,
+and the analytic :class:`FluidScenario`
+(``ScenarioConfig(backend="fluid")``, :class:`ScriptedQAFlowSpec` flows
+only). :func:`run_scenario` dispatches on the config.
 """
 
 from repro.scenario.builder import Scenario
+from repro.scenario.fluid import FluidScenario, run_scenario
 from repro.scenario.result import FlowResult, ScenarioResult
 from repro.scenario.specs import (
     CbrFlowSpec,
     QAFlowSpec,
     RapFlowSpec,
     ScenarioConfig,
+    ScriptedQAFlowSpec,
     TcpFlowSpec,
 )
 
 __all__ = [
     "Scenario",
+    "FluidScenario",
+    "run_scenario",
     "ScenarioConfig",
     "ScenarioResult",
     "FlowResult",
     "QAFlowSpec",
+    "ScriptedQAFlowSpec",
     "RapFlowSpec",
     "TcpFlowSpec",
     "CbrFlowSpec",

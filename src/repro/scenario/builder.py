@@ -19,12 +19,15 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional, Union
 
 from repro.scenario.result import FlowResult, ScenarioResult
+from repro.core.fluid import FluidRun, ScriptedAimd
+from repro.media.playout import PlayoutStats
 from repro.scenario.specs import (
     CbrFlowSpec,
     FlowSpec,
     QAFlowSpec,
     RapFlowSpec,
     ScenarioConfig,
+    ScriptedQAFlowSpec,
     TcpFlowSpec,
 )
 from repro.server.session import SessionResult, StreamingSession
@@ -58,6 +61,8 @@ class BuiltFlow:
     source: object
     sink: object = None
     session: Optional[StreamingSession] = None
+    #: Populated for scripted_qa flows: the replay driving the adapter.
+    fluid_run: Optional[FluidRun] = None
 
     @property
     def kind(self) -> str:
@@ -139,6 +144,8 @@ class Scenario:
         label = self._label(index, spec)
         if isinstance(spec, QAFlowSpec):
             return self._build_qa(index, spec, label, src, dst)
+        if isinstance(spec, ScriptedQAFlowSpec):
+            return self._build_scripted(index, spec, label)
         if isinstance(spec, RapFlowSpec):
             return self._build_rap(index, spec, label, src, dst, rng)
         if isinstance(spec, TcpFlowSpec):
@@ -211,6 +218,29 @@ class Scenario:
 
         return _collect
 
+    def _build_scripted(self, index: int, spec: ScriptedQAFlowSpec,
+                        label: str) -> BuiltFlow:
+        """A scripted QA replay sharing the scenario clock.
+
+        The flow drives the real adapter with quantized sends at a
+        deterministic trajectory; no packets enter the topology, so it
+        coexists with transport flows without perturbing them. Its
+        flow id is synthetic and negative — the flow monitor never
+        sees it, and ``result()`` reads delivery from the adapter.
+        """
+        run = FluidRun(
+            spec.config,
+            ScriptedAimd(spec.initial_rate, spec.slope,
+                         backoff_times=spec.backoff_times,
+                         max_rate=spec.max_rate),
+            duration=self.config.duration,
+            sample_period=spec.sample_period,
+            sim=self.sim,
+        )
+        run.start()
+        return BuiltFlow(index, spec, label, -(index + 1), 0.0,
+                         run.bandwidth, fluid_run=run)
+
     def _build_rap(self, index: int, spec: RapFlowSpec, label: str,
                    src: Host, dst: Host, rng: SeededRNG) -> BuiltFlow:
         srtt = (spec.srtt_init if spec.srtt_init is not None
@@ -254,14 +284,28 @@ class Scenario:
     def result(self) -> ScenarioResult:
         duration = self.config.duration
         monitor = self.monitor
-        total = sum(monitor.bytes_by_flow.get(f.flow_id, 0)
-                    for f in self.flows)
+        # Scripted replays bypass the topology, so their delivery comes
+        # from the adapter's own send accounting, not the flow monitor.
+        delivered_by_index = {
+            built.index: (
+                int(sum(built.fluid_run.adapter.sent_bytes_per_layer))
+                if built.fluid_run is not None
+                else monitor.bytes_by_flow.get(built.flow_id, 0))
+            for built in self.flows
+        }
+        total = sum(delivered_by_index.values())
         flow_results: list[FlowResult] = []
         for built in self.flows:
-            delivered = monitor.bytes_by_flow.get(built.flow_id, 0)
+            delivered = delivered_by_index[built.index]
             session_result: Optional[SessionResult] = None
             if built.session is not None:
                 session_result = built.session.result()
+            elif built.fluid_run is not None:
+                session_result = SessionResult(
+                    tracer=built.fluid_run.tracer,
+                    metrics=built.fluid_run.adapter.metrics,
+                    playout=PlayoutStats(),
+                    duration=duration)
             flow_results.append(FlowResult(
                 index=built.index,
                 kind=built.kind,

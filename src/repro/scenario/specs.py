@@ -36,6 +36,36 @@ class QAFlowSpec:
 
 
 @dataclass(frozen=True)
+class ScriptedQAFlowSpec:
+    """A QA session driven by a scripted AIMD sawtooth, not a transport.
+
+    This is the spec both backends agree on exactly: the rate trajectory
+    is fully determined (climb at ``slope``, halve at ``backoff_times``),
+    so the packet backend replays it through the real adapter
+    (:class:`repro.core.fluid.FluidRun`) while the fluid backend solves
+    it analytically (:class:`repro.sim.fluid.FluidEngine`). The
+    differential harness compares the two. Trajectories are anchored at
+    t=0 and run for the whole scenario; under the packet backend the
+    flow occupies a host slot but its quanta never traverse the
+    topology (it is a replay, not a contender).
+    """
+
+    config: QAConfig = field(default_factory=QAConfig)
+    initial_rate: float = 10_000.0
+    slope: float = 1_000.0
+    backoff_times: tuple[float, ...] = ()
+    max_rate: Optional[float] = None
+    sample_period: float = 0.02
+    label: Optional[str] = None
+
+    kind = "scripted_qa"
+
+    def __post_init__(self) -> None:
+        if self.initial_rate <= 0 or self.slope <= 0:
+            raise ValueError("initial_rate and slope must be positive")
+
+
+@dataclass(frozen=True)
 class RapFlowSpec:
     """A plain RAP flow (congestion-controlled background traffic)."""
 
@@ -76,7 +106,8 @@ class CbrFlowSpec:
     kind = "cbr"
 
 
-FlowSpec = Union[QAFlowSpec, RapFlowSpec, TcpFlowSpec, CbrFlowSpec]
+FlowSpec = Union[QAFlowSpec, ScriptedQAFlowSpec, RapFlowSpec, TcpFlowSpec,
+                 CbrFlowSpec]
 
 TopologyConfig = Union[DumbbellConfig, ParkingLotConfig]
 
@@ -105,6 +136,13 @@ class ScenarioConfig:
         recorder_capacity: flight-recorder ring size (records).
         collect_metrics: True attaches a shared metrics registry to the
             backbone links and flows (counters/gauges/histograms).
+        backend: ``"packet"`` builds the discrete-event simulation
+            (:class:`repro.scenario.builder.Scenario`); ``"fluid"``
+            solves the same spec analytically
+            (:class:`repro.scenario.fluid.FluidScenario`). The fluid
+            backend accepts only :class:`ScriptedQAFlowSpec` flows —
+            transport-coupled kinds need real packets. Dispatch via
+            :func:`repro.scenario.run_scenario`.
     """
 
     flows: tuple[FlowSpec, ...] = ()
@@ -117,10 +155,21 @@ class ScenarioConfig:
     record_decisions: bool = False
     recorder_capacity: int = 65536
     collect_metrics: bool = False
+    backend: str = "packet"
 
     def __post_init__(self) -> None:
         if not self.flows:
             raise ValueError("a scenario needs at least one flow")
+        if self.backend not in ("packet", "fluid"):
+            raise ValueError(
+                f"backend must be 'packet' or 'fluid', got "
+                f"{self.backend!r}")
+        if self.backend == "fluid":
+            bad = [s.kind for s in self.flows if s.kind != "scripted_qa"]
+            if bad:
+                raise ValueError(
+                    "the fluid backend only runs scripted_qa flows; "
+                    f"got kinds {sorted(set(bad))}")
         if self.recorder_capacity < 1:
             raise ValueError("recorder_capacity must be >= 1")
         if isinstance(self.topology, ParkingLotConfig):

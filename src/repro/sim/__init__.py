@@ -13,6 +13,8 @@ It provides:
 - :mod:`repro.sim.flowmon` -- per-flow throughput and Jain fairness.
 - :mod:`repro.sim.trace` -- time-series recording of simulation state.
 - :mod:`repro.sim.rng` -- deterministic random-number utilities.
+- :mod:`repro.sim.fluid` -- analytic fluid fast path (:class:`FluidEngine`).
+- :mod:`repro.sim.fluid_batch` -- vectorized homogeneous flow classes.
 
 The simulator is deliberately small but faithful where it matters for the
 paper: packet-level transmission and queueing at a shared bottleneck so that
@@ -28,6 +30,11 @@ from repro.sim.topology import Dumbbell, DumbbellConfig
 from repro.sim.parking_lot import ParkingLot, ParkingLotConfig
 from repro.sim.flowmon import FlowMonitor, jain_index
 from repro.sim.trace import TimeSeries, Tracer, PeriodicSampler
+# Fluid modules import repro.core.* which imports repro.sim.engine; keep
+# these imports last so the partially-initialized package already holds
+# every name the core layer needs.
+from repro.sim.fluid import FluidEngine, FluidFlowResult
+from repro.sim.fluid_batch import BatchResult, FlowClassBatch
 
 __all__ = [
     "Simulator",
@@ -49,4 +56,8 @@ __all__ = [
     "TimeSeries",
     "Tracer",
     "PeriodicSampler",
+    "FluidEngine",
+    "FluidFlowResult",
+    "BatchResult",
+    "FlowClassBatch",
 ]

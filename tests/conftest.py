@@ -1,4 +1,16 @@
-"""Shared fixtures and CLI options for the test suite."""
+"""Shared fixtures and CLI options for the test suite.
+
+Marker conventions:
+
+- ``slow``: multi-minute work, skipped unless ``--run-slow`` (or
+  ``--update-golden``, which must refresh the expensive artifacts too).
+- ``differential``: packet-vs-fluid backend agreement tests
+  (``tests/differential/``). The paper-figure subset is fast and always
+  runs; the hypothesis fuzz sweep is additionally marked ``slow``, so
+  ``--run-slow`` runs the full sweep — mirroring how the golden suite
+  splits its FAST/SLOW artifact lists. Select just this suite with
+  ``pytest -m differential``.
+"""
 
 from __future__ import annotations
 

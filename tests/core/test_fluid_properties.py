@@ -1,0 +1,85 @@
+"""Property tests for the scripted sawtooth and fluid buffer accounting.
+
+Hypothesis generates AIMD trajectories and backoff scripts; the
+properties pin the invariants every fluid-path consumer leans on:
+
+- the scripted rate never falls below its floor, whatever the script;
+- ``backoffs_until`` consumes each scripted instant exactly once, in
+  order, no matter how the query times slice the script;
+- a full fluid run conserves bytes: everything sent is consumed,
+  discarded, still buffered, or covered by a recorded stall shortfall.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QAConfig
+from repro.core.fluid import ScriptedAimd
+from repro.sim.fluid import FluidEngine
+
+_rates = st.floats(min_value=500.0, max_value=50_000.0)
+_slopes = st.floats(min_value=100.0, max_value=5_000.0)
+_scripts = st.lists(
+    st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    max_size=8)
+
+
+@given(initial=_rates, slope=_slopes, script=_scripts,
+       probes=st.lists(st.floats(min_value=0.0, max_value=70.0),
+                       min_size=1, max_size=12))
+def test_rate_never_falls_below_the_floor(initial, slope, script, probes):
+    aimd = ScriptedAimd(initial, slope, backoff_times=script,
+                        min_rate=100.0)
+    floor = min(initial, aimd.min_rate)
+    clock = 0.0
+    for probe in sorted(probes):
+        clock = max(clock, probe)
+        for at in aimd.backoffs_until(clock):
+            aimd.apply_backoff(at)
+        assert aimd.rate(clock) >= floor - 1e-9
+
+
+@given(script=_scripts,
+       probes=st.lists(st.floats(min_value=0.0, max_value=70.0),
+                       min_size=1, max_size=12))
+def test_backoffs_until_consumes_each_instant_exactly_once(script, probes):
+    aimd = ScriptedAimd(10_000.0, 1_000.0, backoff_times=script)
+    seen: list[float] = []
+    clock = 0.0
+    for probe in sorted(probes):
+        clock = max(clock, probe)
+        due = aimd.backoffs_until(clock)
+        assert all(t <= clock for t in due)
+        seen.extend(due)
+    # Everything scripted at or before the last probe came out exactly
+    # once, in order; the rest is still pending, also in order.
+    assert seen == sorted(t for t in script if t <= clock)
+    assert list(aimd.pending_backoffs) == sorted(
+        t for t in script if t > clock)
+    assert seen + list(aimd.pending_backoffs) == sorted(script)
+
+
+@given(initial_mult=st.floats(min_value=0.9, max_value=3.0),
+       slope=st.floats(min_value=400.0, max_value=2_500.0),
+       k_max=st.integers(min_value=1, max_value=3),
+       script=st.lists(st.floats(min_value=1.0, max_value=28.0),
+                       max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_fluid_run_conserves_bytes_across_backoffs(
+        initial_mult, slope, k_max, script):
+    config = QAConfig(layer_rate=2500.0, max_layers=4, k_max=k_max,
+                      packet_size=200, startup_delay=0.5)
+    engine = FluidEngine(
+        config,
+        ScriptedAimd(2500.0 * initial_mult, slope,
+                     backoff_times=script, max_rate=20_000.0),
+        duration=30.0, sample_period=None)
+    result = engine.run()
+    # sent == consumed + discarded + buffered - stall shortfall, to
+    # floating-point accumulation error.
+    assert abs(result.conservation_error) <= max(
+        1e-6 * result.sent_bytes, 1e-6)
+    assert result.final_buffer >= -1e-9
+    assert 1 <= result.final_layers <= config.max_layers

@@ -1,0 +1,204 @@
+"""The packet-vs-fluid differential harness.
+
+One :class:`DifferentialCase` describes a scripted scenario both
+backends understand; :func:`compare_backends` runs it through the
+packet-quantum replay (:class:`repro.core.fluid.FluidRun` — the path
+every golden figure renders from) and the analytic engine
+(:class:`repro.sim.fluid.FluidEngine`), then checks agreement on the
+paper-figure quantities. Tolerances are centralized in
+:class:`Tolerances` and documented — with the measured residuals that
+justify them — in docs/MECHANISM.md ("Fluid fast path"); change them
+only together with that table.
+
+Why the tolerances are not zero: the packet backend quantizes sends
+(eighth-size quanta), evaluates decisions on the adapter's
+``drain_period`` tick, and its §4.1 filling policy walks per-layer
+buffer states the fluid model integrates away. Those are bounded
+discretization gaps, not free parameters — e.g. a drop instant can lag
+by at most a couple of decision ticks, and a layer add can hover a
+quantum below its target for a while (Figure 6 does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import QAConfig
+from repro.core.fluid import FluidResult, FluidRun, ScriptedAimd
+from repro.sim.fluid import FluidEngine, FluidFlowResult
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Agreement bounds for one differential comparison."""
+
+    #: Relative gap of mean transmission rate (trajectory integral).
+    mean_rate_rel: float = 0.01
+    #: Absolute gap of time-averaged active layers.
+    mean_layers_abs: float = 0.15
+    #: Fraction of the sampling grid where the instantaneous layer
+    #: counts may disagree (decision-instant skew shows up here).
+    layer_mismatch_fraction: float = 0.15
+    #: Drop-instant skew (seconds): a couple of decision ticks.
+    drop_time: float = 0.3
+    #: Add-instant skew (seconds): the packet policy can hover a
+    #: quantum under its target for a while (Figure 6 does).
+    add_time: float = 2.5
+    #: Bounds on the fluid/packet ratio of time-averaged total
+    #: buffering. Wide on purpose: the packet filling policy starves
+    #: the top layer near drops, so packet buffers run above fluid.
+    buffer_ratio: Optional[tuple[float, float]] = (0.6, 1.4)
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """A scripted scenario both backends accept, plus its tolerances."""
+
+    name: str
+    config: QAConfig
+    initial_rate: float
+    slope: float
+    backoff_times: tuple[float, ...] = ()
+    max_rate: Optional[float] = None
+    duration: float = 40.0
+    tolerances: Tolerances = field(default_factory=Tolerances)
+
+    def scripted(self) -> ScriptedAimd:
+        return ScriptedAimd(self.initial_rate, self.slope,
+                            backoff_times=self.backoff_times,
+                            max_rate=self.max_rate)
+
+    def run_packet(self) -> FluidResult:
+        return FluidRun(self.config, self.scripted(),
+                        duration=self.duration).run()
+
+    def run_fluid(self) -> FluidFlowResult:
+        return FluidEngine(self.config, self.scripted(),
+                           duration=self.duration).run()
+
+
+#: The paper's illustrative scenarios, lifted verbatim from the
+#: experiment modules (figs 2, 5, 6), plus a forced-drop case that
+#: exercises the draining/drop path hard. The forced-drop case skips
+#: the buffer-ratio check: after a deep drop the packet backend keeps
+#: stranded upper-layer bytes the fluid model discards with the layer,
+#: so total buffering is not a meaningful comparison there.
+PAPER_CASES = [
+    DifferentialCase(
+        name="fig02",
+        config=QAConfig(layer_rate=5000, max_layers=2, k_max=2,
+                        packet_size=250, startup_delay=0.5),
+        initial_rate=4500, slope=2000, backoff_times=(12.0, 22.0),
+        max_rate=12000, duration=30.0),
+    DifferentialCase(
+        name="fig05",
+        config=QAConfig(layer_rate=2500, max_layers=5, k_max=1,
+                        packet_size=200, startup_delay=0.5),
+        initial_rate=3750, slope=900, backoff_times=(28.0,),
+        max_rate=15625, duration=40.0),
+    DifferentialCase(
+        name="fig06",
+        config=QAConfig(layer_rate=4000, max_layers=3, k_max=3,
+                        packet_size=200, startup_delay=0.5),
+        initial_rate=12120, slope=1500, backoff_times=(18.0, 34.0),
+        max_rate=20400, duration=44.0),
+    DifferentialCase(
+        name="forced-drop",
+        config=QAConfig(layer_rate=2500, max_layers=4, k_max=2,
+                        packet_size=200, startup_delay=0.5),
+        initial_rate=11000, slope=800,
+        backoff_times=(14.0, 15.0, 16.5, 30.0), max_rate=12500,
+        duration=40.0,
+        tolerances=Tolerances(buffer_ratio=None,
+                              layer_mismatch_fraction=0.2)),
+]
+
+
+def _series_average(tracer, name: str) -> Optional[float]:
+    try:
+        return tracer.get(name).time_average()
+    except KeyError:
+        return None
+
+
+def compare_backends(case: DifferentialCase,
+                     packet: FluidResult,
+                     fluid: FluidFlowResult) -> list[str]:
+    """All tolerance violations between the two runs (empty = agree)."""
+    tol = case.tolerances
+    problems: list[str] = []
+
+    # Mean transmission rate: both backends integrate the same scripted
+    # trajectory; any gap is pure discretization.
+    rate_p = _series_average(packet.tracer, "rate")
+    rate_f = _series_average(fluid.tracer, "rate")
+    if rate_p and rate_f:
+        rel = abs(rate_p - rate_f) / rate_p
+        if rel > tol.mean_rate_rel:
+            problems.append(
+                f"mean rate: packet {rate_p:.1f} vs fluid {rate_f:.1f} "
+                f"(rel {rel:.4f} > {tol.mean_rate_rel})")
+
+    # Layer counts over time: time-average plus pointwise mismatch.
+    layers_p = packet.tracer.get("layers")
+    layers_f = fluid.tracer.get("layers")
+    gap = abs(layers_p.time_average() - layers_f.time_average())
+    if gap > tol.mean_layers_abs:
+        problems.append(
+            f"mean layers: packet {layers_p.time_average():.3f} vs "
+            f"fluid {layers_f.time_average():.3f} "
+            f"(gap {gap:.3f} > {tol.mean_layers_abs})")
+    grid = [i * 0.1 for i in range(int(case.duration * 10))]
+    mismatched = sum(
+        1 for t in grid
+        if round(layers_p.value_at(t)) != round(layers_f.value_at(t)))
+    fraction = mismatched / len(grid)
+    if fraction > tol.layer_mismatch_fraction:
+        problems.append(
+            f"layer series: {fraction:.3f} of the grid disagrees "
+            f"(> {tol.layer_mismatch_fraction})")
+
+    # Drop events: same count, same layers, instants within tolerance.
+    drops_p = packet.metrics.drops
+    drops_f = fluid.metrics.drops
+    if len(drops_p) != len(drops_f):
+        problems.append(
+            f"drop count: packet {len(drops_p)} vs fluid {len(drops_f)}")
+    for ev_p, ev_f in zip(drops_p, drops_f):
+        if ev_p.layer != ev_f.layer:
+            problems.append(
+                f"drop layer: packet L{ev_p.layer}@{ev_p.time:.2f} vs "
+                f"fluid L{ev_f.layer}@{ev_f.time:.2f}")
+        skew = abs(ev_p.time - ev_f.time)
+        if skew > tol.drop_time:
+            problems.append(
+                f"drop instant: packet {ev_p.time:.3f} vs fluid "
+                f"{ev_f.time:.3f} (skew {skew:.3f} > {tol.drop_time})")
+
+    # Add events: same count, instants within the hover tolerance.
+    adds_p = packet.metrics.adds
+    adds_f = fluid.metrics.adds
+    if len(adds_p) != len(adds_f):
+        problems.append(
+            f"add count: packet {len(adds_p)} vs fluid {len(adds_f)}")
+    for (t_p, _), (t_f, _) in zip(adds_p, adds_f):
+        skew = abs(t_p - t_f)
+        if skew > tol.add_time:
+            problems.append(
+                f"add instant: packet {t_p:.3f} vs fluid {t_f:.3f} "
+                f"(skew {skew:.3f} > {tol.add_time})")
+
+    # Total buffering: coarse ratio bound (see module docstring).
+    if tol.buffer_ratio is not None:
+        buf_p = packet.tracer.get("total_buffer").time_average()
+        buf_f = fluid.tracer.get("total_buffer").time_average()
+        if buf_p > 0:
+            ratio = buf_f / buf_p
+            lo, hi = tol.buffer_ratio
+            if not lo <= ratio <= hi:
+                problems.append(
+                    f"buffer ratio fluid/packet {ratio:.3f} outside "
+                    f"[{lo}, {hi}] (packet {buf_p:.0f}, fluid {buf_f:.0f})")
+
+    return problems

@@ -1,0 +1,113 @@
+"""Hypothesis scenario fuzzing across the packet/fluid backends.
+
+Random-but-constrained scripted scenarios (random codec geometry,
+sawtooth slope, backoff scripts) run through both backends. Unlike the
+hand-validated paper cases, the fuzz domain deliberately includes
+*marginal* scenarios where an add or drop sits right on its threshold;
+there the packet policy's slower effective consumption (its filling
+walk starves the top layer) can move a borderline decision by whole
+seconds and let one extra add/drop pair through. Event-instant pairing
+is therefore owned by ``test_paper_figures``; this file asserts the
+invariants that hold across the whole domain:
+
+- mean transmission rate agrees (the trajectory is shared; measured
+  worst case 0.07% over the sweep, asserted at 1%);
+- time-averaged layers agree (measured worst 0.28, asserted at 0.6);
+- the backends disagree by at most a marginal add/drop flurry
+  (measured worst: 3 adds / 2 drops of skew, final layers within 1);
+- the fluid run conserves bytes exactly.
+
+Both tests are derandomized so CI failures reproduce locally. The fast
+subset always runs; the wide sweep rides behind ``--run-slow``, the
+same switch the golden suite uses for its expensive artifacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QAConfig
+from tests.differential.harness import DifferentialCase, Tolerances
+
+pytestmark = pytest.mark.differential
+
+DURATION = 20.0
+
+
+@st.composite
+def scripted_cases(draw) -> DifferentialCase:
+    layer_rate = draw(st.sampled_from([2000.0, 2500.0, 4000.0, 5000.0]))
+    max_layers = draw(st.integers(min_value=3, max_value=5))
+    k_max = draw(st.integers(min_value=1, max_value=3))
+    slope = draw(st.floats(min_value=600.0, max_value=2000.0))
+    initial = layer_rate * draw(
+        st.floats(min_value=0.9, max_value=3.0))
+    cap = layer_rate * draw(st.floats(min_value=3.0, max_value=6.0))
+    n_backoffs = draw(st.integers(min_value=0, max_value=3))
+    # Backoffs after playout has settled, spaced >= 4 s so decision-tick
+    # skew from one event cannot cascade into the next.
+    backoffs = tuple(4.0 + 4.0 * i + draw(
+        st.floats(min_value=0.0, max_value=3.0))
+        for i in range(n_backoffs))
+    return DifferentialCase(
+        name="fuzz",
+        config=QAConfig(layer_rate=layer_rate, max_layers=max_layers,
+                        k_max=k_max, packet_size=200,
+                        startup_delay=0.5),
+        initial_rate=initial, slope=slope, backoff_times=backoffs,
+        max_rate=cap, duration=DURATION,
+        tolerances=Tolerances())
+
+
+def _check(case: DifferentialCase) -> None:
+    packet = case.run_packet()
+    fluid = case.run_fluid()
+    problems: list[str] = []
+
+    rate_p = packet.tracer.get("rate").time_average()
+    rate_f = fluid.tracer.get("rate").time_average()
+    if abs(rate_p - rate_f) / rate_p > 0.01:
+        problems.append(f"mean rate: {rate_p:.1f} vs {rate_f:.1f}")
+
+    layers_p = packet.tracer.get("layers").time_average()
+    layers_f = fluid.tracer.get("layers").time_average()
+    if abs(layers_p - layers_f) > 0.6:
+        problems.append(f"mean layers: {layers_p:.3f} vs {layers_f:.3f}")
+
+    if abs(len(packet.metrics.adds) - len(fluid.metrics.adds)) > 4:
+        problems.append(
+            f"add count: {len(packet.metrics.adds)} vs "
+            f"{len(fluid.metrics.adds)}")
+    if abs(len(packet.metrics.drops) - len(fluid.metrics.drops)) > 3:
+        problems.append(
+            f"drop count: {len(packet.metrics.drops)} vs "
+            f"{len(fluid.metrics.drops)}")
+    if abs(packet.adapter.active_layers - fluid.final_layers) > 1:
+        problems.append(
+            f"final layers: {packet.adapter.active_layers} vs "
+            f"{fluid.final_layers}")
+
+    # The fluid run must conserve bytes regardless of agreement.
+    if abs(fluid.conservation_error) > max(
+            1e-6 * fluid.sent_bytes, 1e-6):
+        problems.append(
+            f"conservation error {fluid.conservation_error!r}")
+
+    assert not problems, "\n".join([f"case: {case!r}"] + problems)
+
+
+@settings(max_examples=8, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=scripted_cases())
+def test_fuzzed_scenarios_agree_fast(case):
+    _check(case)
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=scripted_cases())
+def test_fuzzed_scenarios_agree_sweep(case):
+    _check(case)

@@ -1,0 +1,136 @@
+"""Metamorphic invariances of the fluid backends.
+
+Instead of comparing against a reference implementation, these tests
+transform the *input* in ways with a known effect on the *output*:
+
+- time rescaling: stretching time by ``a`` (slope / a, all scripted
+  instants and every time-dimensioned config field x a) must scale
+  byte quantities by ``a`` and decision instants by ``a``, exactly —
+  the analytic engine has no step size to leak through;
+- trace decimation: sampling is observation, never actuation — running
+  with the tracer disabled must not move a single decision;
+- flow relabeling: permuting the flows of a batch permutes its result
+  arrays verbatim (flows never interact);
+- seed splitting: a population built from index-keyed seeds is
+  identical however it is partitioned into batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QAConfig
+from repro.core.fluid import ScriptedAimd
+from repro.sim.fluid import FluidEngine
+from repro.sim.fluid_batch import FlowClassBatch, scripted_backoffs
+
+pytestmark = pytest.mark.differential
+
+CONFIG = QAConfig(layer_rate=2500, max_layers=5, k_max=2,
+                  packet_size=200, startup_delay=0.5)
+SCRIPT = dict(initial_rate=3750.0, slope=900.0,
+              backoff_times=(13.0, 28.0), max_rate=15625.0)
+DURATION = 40.0
+
+
+def _run(config: QAConfig, duration: float, *, slope: float,
+         backoffs: tuple, sample_period=0.02):
+    aimd = ScriptedAimd(SCRIPT["initial_rate"], slope,
+                        backoff_times=backoffs,
+                        max_rate=SCRIPT["max_rate"])
+    return FluidEngine(config, aimd, duration=duration,
+                       sample_period=sample_period).run()
+
+
+@pytest.mark.parametrize("alpha", [0.5, 2.0, 3.0])
+def test_time_rescaling_is_exact(alpha):
+    base = _run(CONFIG, DURATION, slope=SCRIPT["slope"],
+                backoffs=SCRIPT["backoff_times"])
+    scaled_config = CONFIG.with_(
+        startup_delay=CONFIG.startup_delay * alpha,
+        maintenance_floor=CONFIG.maintenance_floor * alpha,
+        base_floor=CONFIG.base_floor * alpha,
+        drain_period=CONFIG.drain_period * alpha,
+    )
+    scaled = _run(scaled_config, DURATION * alpha,
+                  slope=SCRIPT["slope"] / alpha,
+                  backoffs=tuple(t * alpha
+                                 for t in SCRIPT["backoff_times"]))
+
+    assert scaled.final_layers == base.final_layers
+    assert scaled.sent_bytes == pytest.approx(
+        alpha * base.sent_bytes, rel=1e-9)
+    assert scaled.discarded_bytes == pytest.approx(
+        alpha * base.discarded_bytes, rel=1e-6, abs=1e-6)
+    assert scaled.final_buffer == pytest.approx(
+        alpha * base.final_buffer, rel=1e-6)
+    assert len(scaled.metrics.adds) == len(base.metrics.adds)
+    for (t_base, layer_base), (t_scaled, layer_scaled) in zip(
+            base.metrics.adds, scaled.metrics.adds):
+        assert layer_scaled == layer_base
+        assert t_scaled == pytest.approx(alpha * t_base, abs=1e-5 * alpha)
+    assert len(scaled.metrics.drops) == len(base.metrics.drops)
+    for ev_base, ev_scaled in zip(base.metrics.drops,
+                                  scaled.metrics.drops):
+        assert ev_scaled.layer == ev_base.layer
+        assert ev_scaled.time == pytest.approx(
+            alpha * ev_base.time, abs=1e-5 * alpha)
+
+
+def test_tracing_never_moves_a_decision():
+    traced = _run(CONFIG, DURATION, slope=SCRIPT["slope"],
+                  backoffs=SCRIPT["backoff_times"])
+    headless = _run(CONFIG, DURATION, slope=SCRIPT["slope"],
+                    backoffs=SCRIPT["backoff_times"], sample_period=None)
+    assert headless.metrics.adds == traced.metrics.adds
+    assert [(e.time, e.layer) for e in headless.metrics.drops] == \
+           [(e.time, e.layer) for e in traced.metrics.drops]
+    assert headless.sent_bytes == traced.sent_bytes
+    assert headless.final_buffer == traced.final_buffer
+    assert headless.epochs == traced.epochs
+
+
+def _padded_scripts(indices, seed=11, duration=30.0):
+    scripts = [scripted_backoffs(seed, i, duration, 6.0, min_gap=0.2)
+               for i in indices]
+    width = max(1, max(len(s) for s in scripts))
+    out = np.full((len(scripts), width), np.inf)
+    for row, script in enumerate(scripts):
+        out[row, :len(script)] = script
+    return out
+
+
+_BATCH_FIELDS = ("mean_rate", "mean_layers", "buffer", "sent_bytes",
+                 "consumed_bytes", "discarded_bytes", "stall_bytes",
+                 "adds", "drops", "layers")
+
+
+def _batch(indices, rates, duration=30.0):
+    return FlowClassBatch(
+        CONFIG, len(indices), 900.0, np.asarray(rates),
+        _padded_scripts(indices), duration, max_rate=40_000.0).run()
+
+
+def test_flow_relabeling_permutes_results_verbatim():
+    indices = list(range(12))
+    rates = [15_000.0 + 500.0 * i for i in indices]
+    perm = [7, 0, 11, 3, 9, 1, 5, 10, 2, 8, 4, 6]
+    straight = _batch(indices, rates)
+    shuffled = _batch([indices[p] for p in perm],
+                      [rates[p] for p in perm])
+    for name in _BATCH_FIELDS:
+        expect = getattr(straight, name)[perm]
+        assert np.array_equal(getattr(shuffled, name), expect), name
+
+
+def test_seed_split_concatenation_is_bit_identical():
+    indices = list(range(40))
+    rates = [18_000.0] * 40
+    whole = _batch(indices, rates)
+    left = _batch(indices[:13], rates[:13])
+    right = _batch(indices[13:], rates[13:])
+    for name in _BATCH_FIELDS:
+        glued = np.concatenate(
+            [getattr(left, name), getattr(right, name)])
+        assert np.array_equal(glued, getattr(whole, name)), name
