@@ -2,16 +2,23 @@
 """repro-lint throughput benchmark: emits ``BENCH_lint.json``.
 
 The lint gate runs on every CI push, so its wall-clock cost is a budget,
-not a curiosity: the whole-program flow rules (RL005-RL008) parse every
+not a curiosity: the whole-program flow rules (RL005-RL012) parse every
 file, build the project symbol tables, and run the dataflow engine over
 every function — an accidental quadratic there would tax every commit.
-This script times two configurations over ``src/``:
+This script times four configurations over ``src/``:
 
 - ``per_file``: RL001-RL004 only (the pre-dataflow cost floor);
-- ``full``: all rules including the whole-program flow analysis.
+- ``full``: all rules including the whole-program flow analysis;
+- ``cold``: all rules through a fresh incremental cache (analysis plus
+  the cost of writing the index);
+- ``warm``: the same run again -- a full cache hit that replays stored
+  findings without parsing a single file.
 
 The CI job fails if the quick full-tree run exceeds a hard wall-clock
-bound, keeping "lint the tree" an interactive-speed operation.
+bound, keeping "lint the tree" an interactive-speed operation, and if
+the warm/cold speedup drops below 5x -- the incremental cache is only
+worth its complexity while it stays an order of magnitude off the cold
+path.
 
 Usage::
 
@@ -27,13 +34,14 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import tempfile
 import time
 
 from repro.lint.cli import lint_paths
 from repro.lint.rules import default_rules
 from repro.lint.rules.base import FlowRule
 
-SCHEMA = 1
+SCHEMA = 2
 
 #: Keys every report must carry, nested section by section. The CI smoke
 #: job fails when a produced report stops matching this shape.
@@ -42,18 +50,23 @@ REQUIRED_KEYS = {
     "quick": None,
     "per_file": ("files", "violations", "seconds", "files_per_sec"),
     "full": ("files", "violations", "seconds", "files_per_sec"),
+    "cold": ("files", "violations", "seconds", "files_per_sec"),
+    "warm": ("files", "violations", "seconds", "files_per_sec"),
+    "speedup": None,
 }
 
 _SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
 
 
-def bench_lint(paths: list[str], flow: bool) -> dict:
+def bench_lint(
+    paths: list[str], flow: bool, cache_dir: pathlib.Path | None = None
+) -> dict:
     """Lint ``paths`` once, with or without the whole-program rules."""
     rules = default_rules()
     if not flow:
         rules = tuple(r for r in rules if not isinstance(r, FlowRule))
     start = time.perf_counter()
-    violations, files = lint_paths(paths, rules=rules)
+    violations, files = lint_paths(paths, rules=rules, cache_dir=cache_dir)
     seconds = time.perf_counter() - start
     return {
         "files": files,
@@ -73,13 +86,34 @@ def best_of(repeats: int, fn, *args) -> dict:
     return best
 
 
+def bench_cache_pair(paths: list[str]) -> tuple[dict, dict]:
+    """One cold run through a fresh cache, then the warm full hit."""
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_dir = pathlib.Path(scratch)
+        cold = bench_lint(paths, True, cache_dir=cache_dir)
+        warm = bench_lint(paths, True, cache_dir=cache_dir)
+    return cold, warm
+
+
 def run_report(quick: bool, paths: list[str]) -> dict:
     repeats = 1 if quick else 3
+    cold_best: dict | None = None
+    warm_best: dict | None = None
+    for _ in range(repeats):
+        cold, warm = bench_cache_pair(paths)
+        if cold_best is None or cold["seconds"] < cold_best["seconds"]:
+            cold_best = cold
+        if warm_best is None or warm["seconds"] < warm_best["seconds"]:
+            warm_best = warm
+    assert cold_best is not None and warm_best is not None
     return {
         "schema": SCHEMA,
         "quick": quick,
         "per_file": best_of(repeats, bench_lint, paths, False),
         "full": best_of(repeats, bench_lint, paths, True),
+        "cold": cold_best,
+        "warm": warm_best,
+        "speedup": cold_best["seconds"] / warm_best["seconds"],
     }
 
 
@@ -122,6 +156,10 @@ def main(argv=None) -> int:
     print(f"all rules      : {full['files_per_sec']:>8,.0f} files/s "
           f"({full['files']} files, {full['seconds']:.3f}s, "
           f"flow overhead {full['seconds'] - per_file['seconds']:.3f}s)")
+    cold, warm = report["cold"], report["warm"]
+    print(f"cold cache     : {cold['seconds']:.3f}s  "
+          f"warm cache: {warm['seconds']:.3f}s  "
+          f"speedup {report['speedup']:.1f}x")
     print(f"wrote {target}")
     return 0
 

@@ -30,16 +30,15 @@ from typing import Callable, Optional, Sequence
 from repro.core import formulas
 from repro.core.config import QAConfig
 from repro.core.states import StateSequence
+
+# Re-exported: the tolerance itself is centralized (RL009 discipline).
+from repro.core.tolerances import TIME_TOLERANCE as TIME_TOLERANCE
 from repro.core.units import Bytes, BytesPerSec, BytesPerSec2, Seconds
 
 #: Default grid density for :func:`first_crossing`. Residuals are smooth
 #: between epochs (piecewise quadratic at worst), so a modest scan plus
 #: bisection locates every sign change that matters.
 SCAN_POINTS = 64
-
-#: Bisection tolerance on event instants (seconds). Far below any
-#: sampling period or RTT the differential harness compares at.
-TIME_TOLERANCE: Seconds = 1e-7
 
 
 def rate_at(anchor_rate: BytesPerSec, slope: BytesPerSec2,

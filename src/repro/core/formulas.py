@@ -35,10 +35,9 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+# Re-exported: the tolerance itself is centralized (RL009 discipline).
+from repro.core.tolerances import EPSILON as EPSILON
 from repro.core.units import Bytes, BytesPerSec, BytesPerSec2, Seconds
-
-#: Tolerance for float comparisons on byte quantities.
-EPSILON = 1e-9
 
 SCENARIO_ONE = 1
 SCENARIO_TWO = 2

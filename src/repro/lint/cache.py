@@ -1,0 +1,252 @@
+"""Content-addressed incremental analysis cache.
+
+The linter's cost is dominated by analysis, not I/O: parsing and
+tokenizing every file, then running the per-file rules and the
+whole-program flow rules (call graph, summaries, dataflow). The cache
+makes the common cases cheap without ever trading soundness:
+
+- **Warm run, nothing changed.** Every file's content digest matches
+  the index: the stored findings are replayed verbatim. No file is
+  parsed or tokenized -- suppressions are reconstructed from cached
+  directive records -- so the warm path is pure hashing plus one JSON
+  read (the CI gate holds it to >= 5x faster than cold).
+- **Warm run, some files changed.** Everything is re-parsed (the flow
+  rules need the full :class:`~repro.lint.flow.project.Project` for
+  cross-module resolution), but re-*analysis* is scoped: per-file rules
+  re-run only where the file's environment digest changed, and flow
+  rules re-run only over the **dirty cone** -- modules whose transitive
+  import closure contains a changed file. Clean modules replay their
+  cached flow findings.
+
+Three digest layers, mirroring the experiment runner's cache keying:
+
+- ``analyzer digest`` -- every source file of ``repro.lint`` plus the
+  Python version. Editing any rule invalidates everything.
+- ``env digest`` (per file) -- the file's own content plus its sibling
+  ``__init__.py`` (RL002 reads the sibling experiment registry, so a
+  registry edit must re-check every experiment module beside it).
+- ``cone digest`` (per module) -- the content digests of the module's
+  transitive import closure, self included. Any edit anywhere in the
+  closure changes the cone digest, which *is* the reverse-dependency
+  invalidation: dependents of a changed module notice because their
+  closures contain it.
+
+Findings of :class:`~repro.lint.rules.base.FlowRule` subclasses with
+``cone_cacheable = False`` (RL010: a finding ties a submitter module to
+an unrelated worker module, outside either's import cone) are stored
+under a whole-project digest instead and re-run on any change.
+
+Cached findings are **raw** (pre-suppression): suppressions are applied
+per run, so editing only a ``# repro-lint: disable`` comment changes
+the file digest, re-tokenizes that file, and re-filters the replayed
+findings correctly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sys
+from typing import Any, Optional, Sequence
+
+from repro.lint.rules.base import Rule
+from repro.lint.suppressions import Directive, Suppressions
+from repro.lint.violations import Violation
+
+#: Bump when the index layout changes; old indexes are discarded.
+CACHE_SCHEMA = 1
+
+#: Default cache location (gitignored alongside the experiment cache).
+DEFAULT_CACHE_DIR = ".repro-cache/lint"
+
+
+def content_sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+_sha256 = content_sha
+
+
+def source_sha(path: pathlib.Path) -> str:
+    return _sha256(path.read_bytes())
+
+
+def analyzer_digest() -> str:
+    """Digest of the analyzer itself: ``repro.lint`` sources + Python.
+
+    Computed once per process; editing any rule, the engine, or this
+    module invalidates every cached finding.
+    """
+    global _ANALYZER_DIGEST
+    if _ANALYZER_DIGEST is None:
+        package_dir = pathlib.Path(__file__).resolve().parent
+        hasher = hashlib.sha256()
+        hasher.update(
+            f"py{sys.version_info[0]}.{sys.version_info[1]}".encode()
+        )
+        for path in sorted(package_dir.rglob("*.py")):
+            hasher.update(str(path.relative_to(package_dir)).encode())
+            hasher.update(path.read_bytes())
+        _ANALYZER_DIGEST = hasher.hexdigest()
+    return _ANALYZER_DIGEST
+
+
+_ANALYZER_DIGEST: Optional[str] = None
+
+
+def ruleset_digest(rules: Sequence[Rule]) -> str:
+    """Digest of the active rule selection (``--rules`` subsets cache
+    separately from full runs)."""
+    return _sha256(",".join(sorted(rule.code for rule in rules)).encode())
+
+
+def env_sha(file_sha: str, path: pathlib.Path) -> str:
+    """Per-file environment digest: own content + sibling registry.
+
+    RL002 validates experiment modules against the ``EXPERIMENTS``
+    table in the *sibling* ``__init__.py``; editing the registry must
+    re-check every module beside it even though their bytes are
+    untouched.
+    """
+    sibling = path.parent / "__init__.py"
+    sibling_sha = ""
+    if sibling != path and sibling.is_file():
+        sibling_sha = source_sha(sibling)
+    return _sha256(f"{file_sha}:{sibling_sha}".encode())
+
+
+def cone_digests(
+    import_graph: dict[str, set[str]], module_shas: dict[str, str]
+) -> dict[str, str]:
+    """Per-module digest over the transitive import closure (incl. self).
+
+    A module's digest changes iff any file in its closure changed --
+    the fixed point of reverse-dependency invalidation, computed
+    forward.
+    """
+    closures: dict[str, frozenset[str]] = {}
+
+    def closure(name: str, trail: frozenset[str]) -> frozenset[str]:
+        cached = closures.get(name)
+        if cached is not None:
+            return cached
+        if name in trail:  # import cycle: break, union handled by caller
+            return frozenset((name,))
+        acc = {name}
+        for dep in import_graph.get(name, ()):
+            acc |= closure(dep, trail | {name})
+        result = frozenset(acc)
+        if name not in trail:
+            closures[name] = result
+        return result
+
+    out: dict[str, str] = {}
+    for name in import_graph:
+        parts = sorted(
+            f"{member}:{module_shas.get(member, '')}"
+            for member in closure(name, frozenset())
+        )
+        out[name] = _sha256("\n".join(parts).encode())
+    return out
+
+
+# ------------------------------------------------------- (de)serialization
+
+
+def pack_violation(violation: Violation) -> list[Any]:
+    return [
+        violation.path,
+        violation.line,
+        violation.col,
+        violation.code,
+        violation.message,
+    ]
+
+
+def unpack_violation(row: Sequence[Any]) -> Violation:
+    return Violation(
+        path=row[0],
+        line=int(row[1]),
+        col=int(row[2]),
+        code=row[3],
+        message=row[4],
+    )
+
+
+def pack_directives(suppressions: Suppressions) -> list[list[Any]]:
+    return [
+        [d.line, d.code, d.file_level] for d in suppressions.directives
+    ]
+
+
+def unpack_suppressions(rows: Sequence[Sequence[Any]]) -> Suppressions:
+    """Rebuild a :class:`Suppressions` without re-tokenizing the file."""
+    directives = tuple(
+        Directive(int(row[0]), row[1], bool(row[2])) for row in rows
+    )
+    file_level: set[str] = set()
+    by_line: dict[int, frozenset[str]] = {}
+    for directive in directives:
+        if directive.file_level:
+            file_level.add(directive.code)
+        else:
+            by_line[directive.line] = by_line.get(
+                directive.line, frozenset()
+            ) | {directive.code}
+    return Suppressions(
+        file_level=frozenset(file_level),
+        by_line=by_line,
+        directives=directives,
+    )
+
+
+# --------------------------------------------------------------- the store
+
+
+class LintCache:
+    """One JSON index per (analyzer, ruleset) pair under ``root``.
+
+    The index maps resolved file paths to their digests, directives,
+    and raw findings; a ``global`` section holds whole-project-keyed
+    results. Writes are atomic (temp file + rename) so a crashed run
+    never leaves a torn index.
+    """
+
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = root
+
+    def index_path(self, ruleset_sha: str) -> pathlib.Path:
+        return self.root / f"index-{ruleset_sha[:16]}.json"
+
+    def load(self, ruleset_sha: str) -> Optional[dict[str, Any]]:
+        path = self.index_path(ruleset_sha)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            return None
+        if payload.get("analyzer") != analyzer_digest():
+            return None
+        return payload
+
+    def store(self, ruleset_sha: str, payload: dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["schema"] = CACHE_SCHEMA
+        payload["analyzer"] = analyzer_digest()
+        path = self.index_path(ruleset_sha)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(path)
+        except OSError:
+            # Caching is an optimization: an unwritable cache dir must
+            # never fail the lint run itself.
+            return

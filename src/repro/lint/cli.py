@@ -7,12 +7,20 @@ paths match no Python files at all -- a misconfigured CI glob must not
 masquerade as a clean run. ``--changed`` with an empty diff *is* a
 legitimate clean state and exits 0.
 
-Per-file rules (RL001-RL004) run file by file; flow rules (RL005-RL008)
+Per-file rules (RL001-RL004) run file by file; flow rules (RL005-RL012)
 run once over a whole-program :class:`~repro.lint.flow.project.Project`
 built from every file in the run. ``--changed`` narrows the *report*,
 never the analysis: the project is still built from the full path set so
 cross-module reasoning stays sound, and only findings in files touched
 since HEAD (or untracked) are emitted.
+
+Runs are cached incrementally (see :mod:`repro.lint.cache`) under
+``.repro-cache/lint`` by default: a warm run with no edits replays the
+stored findings without parsing anything, and a run with edits
+re-analyzes only the changed files' import cones. ``--no-cache``
+disables it; the cache sits *beneath* ``--changed`` and
+``--show-suppressed``, which filter the replayed results exactly as
+they filter fresh ones.
 
 Syntax errors in checked files are reported as RL000 -- a file the
 analyzer cannot parse cannot be certified, so it fails the run.
@@ -27,8 +35,9 @@ import pathlib
 import subprocess
 import sys
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro.lint import cache as _cache
 from repro.lint.rules import default_rules
 from repro.lint.rules.base import FileContext, FlowRule, Rule
 from repro.lint.suppressions import Directive, Suppressions
@@ -90,42 +99,42 @@ class FileEntry:
     syntax_violation: Optional[Violation]
 
 
-def _load_files(paths: Sequence[str]) -> list[FileEntry]:
-    entries: list[FileEntry] = []
-    for path, display in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        suppressions = Suppressions.scan(source)
-        try:
-            tree = ast.parse(source, filename=display)
-        except SyntaxError as exc:
-            entries.append(
-                FileEntry(
-                    path=path,
-                    display=display,
-                    suppressions=suppressions,
-                    ctx=None,
-                    syntax_violation=Violation(
-                        path=display,
-                        line=exc.lineno or 1,
-                        col=(exc.offset or 1) - 1,
-                        code=SYNTAX_ERROR_CODE,
-                        message=f"file does not parse: {exc.msg}",
-                    ),
-                )
-            )
-            continue
-        entries.append(
-            FileEntry(
-                path=path,
-                display=display,
-                suppressions=suppressions,
-                ctx=FileContext(
-                    path=path, display_path=display, source=source, tree=tree
-                ),
-                syntax_violation=None,
-            )
+def _make_entry(
+    path: pathlib.Path, display: str, source: str
+) -> FileEntry:
+    suppressions = Suppressions.scan(source)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return FileEntry(
+            path=path,
+            display=display,
+            suppressions=suppressions,
+            ctx=None,
+            syntax_violation=Violation(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            ),
         )
-    return entries
+    return FileEntry(
+        path=path,
+        display=display,
+        suppressions=suppressions,
+        ctx=FileContext(
+            path=path, display_path=display, source=source, tree=tree
+        ),
+        syntax_violation=None,
+    )
+
+
+def _load_files(paths: Sequence[str]) -> list[FileEntry]:
+    return [
+        _make_entry(path, display, path.read_text(encoding="utf-8"))
+        for path, display in iter_python_files(paths)
+    ]
 
 
 def _raw_violations(
@@ -152,6 +161,222 @@ def _raw_violations(
         for rule in flow:
             found.extend(rule.check_project(project))
     return found
+
+
+def _run_with_cache(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    store: _cache.LintCache,
+) -> tuple[list[FileEntry], list[Violation]]:
+    """Cache-aware equivalent of ``_load_files`` + ``_raw_violations``.
+
+    Returns (entries, raw violations). On a full hit -- identical file
+    set, every content digest matching -- nothing is parsed or
+    tokenized: entries carry ``ctx=None`` and suppressions rebuilt from
+    cached directives, and the stored raw findings are replayed. On a
+    partial hit everything is re-parsed (flow rules need the whole
+    project), but per-file rules re-run only where the environment
+    digest missed and cone-cacheable flow rules re-run only over dirty
+    import cones. Raw findings are cached pre-suppression; the caller
+    applies suppressions exactly as on the uncached path.
+    """
+    from repro.lint.flow.project import Project
+
+    files = iter_python_files(paths)
+    ruleset_sha = _cache.ruleset_digest(rules)
+    index = store.load(ruleset_sha)
+    cached_files: dict[str, Any] = index.get("files", {}) if index else {}
+
+    shas = {
+        path: _cache.content_sha(path.read_bytes()) for path, _ in files
+    }
+
+    def _matches(path: pathlib.Path, display: str) -> bool:
+        record = cached_files.get(str(path))
+        return (
+            record is not None
+            and record.get("source_sha") == shas[path]
+            and record.get("display") == display
+        )
+
+    if (
+        index is not None
+        and len(cached_files) == len(files)
+        and all(_matches(path, display) for path, display in files)
+    ):
+        # Full hit: replay without parsing a single file.
+        entries: list[FileEntry] = []
+        raw: list[Violation] = []
+        for path, display in files:
+            record = cached_files[str(path)]
+            syntax_violation = None
+            if record.get("syntax") is not None:
+                line, col, message = record["syntax"]
+                syntax_violation = Violation(
+                    path=display,
+                    line=int(line),
+                    col=int(col),
+                    code=SYNTAX_ERROR_CODE,
+                    message=message,
+                )
+                raw.append(syntax_violation)
+            entries.append(
+                FileEntry(
+                    path=path,
+                    display=display,
+                    suppressions=_cache.unpack_suppressions(
+                        record.get("directives", [])
+                    ),
+                    ctx=None,
+                    syntax_violation=syntax_violation,
+                )
+            )
+            for row in record.get("per_file", []):
+                raw.append(_cache.unpack_violation(row))
+            for row in record.get("flow", []):
+                raw.append(_cache.unpack_violation(row))
+        for row in (index.get("global") or {}).get("violations", []):
+            raw.append(_cache.unpack_violation(row))
+        return entries, raw
+
+    # Partial (or cold): parse everything, re-analyze selectively.
+    entries = [
+        _make_entry(path, display, path.read_bytes().decode("utf-8"))
+        for path, display in files
+    ]
+    per_file_rules = [r for r in rules if not isinstance(r, FlowRule)]
+    flow_rules = [r for r in rules if isinstance(r, FlowRule)]
+
+    env_shas: dict[str, str] = {}
+    per_file_found: dict[str, list[Violation]] = {}
+    raw = []
+    for entry in entries:
+        key = str(entry.path)
+        env_shas[key] = _cache.env_sha(shas[entry.path], entry.path)
+        if entry.syntax_violation is not None:
+            raw.append(entry.syntax_violation)
+            per_file_found[key] = []
+            continue
+        assert entry.ctx is not None
+        record = cached_files.get(key)
+        if (
+            record is not None
+            and record.get("env_sha") == env_shas[key]
+            and record.get("display") == entry.display
+        ):
+            found = [
+                _cache.unpack_violation(row)
+                for row in record.get("per_file", [])
+            ]
+        else:
+            found = [
+                violation
+                for rule in per_file_rules
+                if rule.applies_to(entry.ctx)
+                for violation in rule.check(entry.ctx)
+            ]
+        per_file_found[key] = found
+        raw.extend(found)
+
+    flow_found: dict[str, list[Violation]] = {
+        str(entry.path): [] for entry in entries
+    }
+    global_found: list[Violation] = []
+    cones: dict[str, str] = {}
+    module_of_path: dict[str, str] = {}
+    if flow_rules:
+        project = Project.build(
+            [entry.ctx for entry in entries if entry.ctx is not None]
+        )
+        module_shas: dict[str, str] = {}
+        for name, info in project.modules.items():
+            module_of_path[str(info.ctx.path)] = name
+            module_shas[name] = shas[info.ctx.path]
+        cones = _cache.cone_digests(project.import_graph(), module_shas)
+        key_of_display = {entry.display: str(entry.path) for entry in entries}
+
+        dirty: set[str] = set()
+        for name, info in project.modules.items():
+            record = cached_files.get(str(info.ctx.path))
+            if (
+                record is None
+                or record.get("cone_sha") != cones.get(name)
+                or record.get("display") != info.ctx.display_path
+            ):
+                dirty.add(name)
+        # Files the project dropped (duplicate module stems) have no
+        # cone; any flow findings in them can never be replayed, so
+        # nothing to do -- they simply stay out of the flow sections.
+        shadowed = {
+            str(entry.path)
+            for entry in entries
+            if entry.ctx is not None
+            and str(entry.path) not in module_of_path
+        }
+
+        for rule in flow_rules:
+            if not rule.cone_cacheable:
+                # Findings cross import cones (RL010): always re-run,
+                # stored whole-project.
+                global_found.extend(rule.check_project(project))
+                continue
+            if dirty or shadowed:
+                only = frozenset(dirty) if not shadowed else None
+                for violation in rule.check_project(project, only=only):
+                    key = key_of_display.get(violation.path)
+                    if key is None:  # defensive: never drop a finding
+                        global_found.append(violation)
+                    elif only is None and module_of_path.get(
+                        key
+                    ) not in dirty and key not in shadowed:
+                        continue  # clean module: cached copy replays below
+                    else:
+                        flow_found[key].append(violation)
+        for name, info in project.modules.items():
+            if name in dirty:
+                continue
+            record = cached_files.get(str(info.ctx.path))
+            if record is None:  # unreachable: clean implies cached
+                continue
+            flow_found[str(info.ctx.path)] = [
+                _cache.unpack_violation(row)
+                for row in record.get("flow", [])
+            ]
+        for entry in entries:
+            raw.extend(flow_found[str(entry.path)])
+        raw.extend(global_found)
+
+    files_payload: dict[str, Any] = {}
+    for entry in entries:
+        key = str(entry.path)
+        syntax = None
+        if entry.syntax_violation is not None:
+            sv = entry.syntax_violation
+            syntax = [sv.line, sv.col, sv.message]
+        files_payload[key] = {
+            "display": entry.display,
+            "source_sha": shas[entry.path],
+            "env_sha": env_shas[key],
+            "cone_sha": cones.get(module_of_path.get(key, "")),
+            "directives": _cache.pack_directives(entry.suppressions),
+            "syntax": syntax,
+            "per_file": [
+                _cache.pack_violation(v) for v in per_file_found[key]
+            ],
+            "flow": [_cache.pack_violation(v) for v in flow_found[key]],
+        }
+    store.store(
+        ruleset_sha,
+        {
+            "files": files_payload,
+            "global": {
+                "violations": [
+                    _cache.pack_violation(v) for v in global_found
+                ]
+            },
+        },
+    )
+    return entries, raw
 
 
 def _apply_suppressions(
@@ -205,15 +430,24 @@ def lint_file(
 
 
 def lint_paths(
-    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    cache_dir: Optional[pathlib.Path] = None,
 ) -> tuple[list[Violation], int]:
     """Lint every Python file under ``paths``.
 
     Returns (violations sorted by location, number of files checked).
+    With ``cache_dir`` the incremental cache is consulted and updated;
+    without it every file is analyzed from scratch.
     """
     active = tuple(rules) if rules is not None else default_rules()
-    entries = _load_files(paths)
-    raw = _raw_violations(entries, active)
+    if cache_dir is not None:
+        entries, raw = _run_with_cache(
+            paths, active, _cache.LintCache(cache_dir)
+        )
+    else:
+        entries = _load_files(paths)
+        raw = _raw_violations(entries, active)
     return sorted(_apply_suppressions(raw, entries)), len(entries)
 
 
@@ -344,7 +578,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-lint",
         description=(
             "AST and dataflow invariant checker for the repro codebase "
-            "(rules RL001-RL008; see docs/LINTING.md)."
+            "(rules RL001-RL012; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -390,6 +624,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print every rule code with its rationale and exit",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze every file from scratch, ignoring the cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=_cache.DEFAULT_CACHE_DIR,
+        help=(
+            "incremental analysis cache location "
+            f"(default: {_cache.DEFAULT_CACHE_DIR})"
+        ),
+    )
     options = parser.parse_args(argv)
 
     if options.list_rules:
@@ -407,7 +655,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rules = default_rules()
 
     try:
-        entries = _load_files(options.paths)
+        if options.no_cache:
+            entries = _load_files(options.paths)
+            raw = _raw_violations(entries, rules)
+        else:
+            entries, raw = _run_with_cache(
+                options.paths,
+                rules,
+                _cache.LintCache(pathlib.Path(options.cache_dir)),
+            )
     except FileNotFoundError as exc:
         print(f"repro-lint: no such file or directory: {exc}", file=sys.stderr)
         return 2
@@ -417,8 +673,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return EXIT_NO_FILES
-
-    raw = _raw_violations(entries, rules)
 
     if options.show_suppressed:
         audits = audit_suppressions(entries, raw)

@@ -18,14 +18,23 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.lint.flow.project import Project
 from repro.lint.flow.symbols import ANY, ClassInfo, FunctionInfo, Param, TypeRef
-from repro.lint.flow.units import DIMENSIONLESS, Dim
+from repro.lint.flow.units import (
+    DIMENSIONLESS,
+    INT_ALIASES,
+    UNIT_ALIASES,
+    UNITS_MODULE,
+    Dim,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.flow.summaries import SummaryTable
 
 LIT = TypeRef("lit")
-BOOL = TypeRef("num", dim=DIMENSIONLESS)
+BOOL = TypeRef("num", dim=DIMENSIONLESS, integral=True)
 
 _ADDITIVE_OPS = {
     ast.Add: "+",
@@ -115,12 +124,16 @@ class FunctionAnalysis:
         module: str,
         func: FunctionInfo,
         cls: Optional[ClassInfo] = None,
+        summaries: Optional["SummaryTable"] = None,
     ) -> None:
         self.project = project
         self.module = module
         self.func = func
         self.cls = cls
+        self.summaries = summaries
         self.problems: list[Mismatch] = []
+        #: Join of every ``return <expr>`` value (None before the first).
+        self.return_value: Optional[TypeRef] = None
 
     # ------------------------------------------------------------- driver
 
@@ -197,6 +210,8 @@ class FunctionAnalysis:
                     f"{_render(right)}",
                 )
                 return ANY
+            if left.integral and not right.integral:
+                return right
             return left
         if left.kind == "seq" and right.kind in ("seq", "tup") and op == "+":
             return TypeRef(
@@ -221,7 +236,11 @@ class FunctionAnalysis:
             return ANY
         if left.kind == "lit" and right.kind == "lit":
             return LIT
-        return TypeRef("num", dim=ld * rd)
+        # A literal factor keeps the numeric side's int-ness: ``2 * n``.
+        integral = (left.kind != "num" or left.integral) and (
+            right.kind != "num" or right.integral
+        )
+        return TypeRef("num", dim=ld * rd, integral=integral)
 
     def _divide(self, left: TypeRef, right: TypeRef) -> TypeRef:
         ld = self._factor_dim(left)
@@ -252,14 +271,14 @@ class FunctionAnalysis:
                 self.infer(child, env)
         return ANY
 
-    def _infer_Constant(self, node: ast.Constant, env: dict) -> TypeRef:
+    def _infer_Constant(self, node: ast.Constant, env: dict[str, TypeRef]) -> TypeRef:
         if isinstance(node.value, bool):
             return BOOL
         if isinstance(node.value, (int, float)):
             return LIT
         return ANY
 
-    def _infer_Name(self, node: ast.Name, env: dict) -> TypeRef:
+    def _infer_Name(self, node: ast.Name, env: dict[str, TypeRef]) -> TypeRef:
         if node.id in env:
             return env[node.id]
         return self._global_value(node.id)
@@ -300,7 +319,7 @@ class FunctionAnalysis:
             return TypeRef("mod", qualname=dotted)
         return self._module_member(owner, leaf)
 
-    def _infer_Attribute(self, node: ast.Attribute, env: dict) -> TypeRef:
+    def _infer_Attribute(self, node: ast.Attribute, env: dict[str, TypeRef]) -> TypeRef:
         base = self.infer(node.value, env)
         return self._attribute_on(base, node.attr)
 
@@ -326,7 +345,7 @@ class FunctionAnalysis:
             return self.project.attr_type(info, attr)
         return ANY
 
-    def _infer_Call(self, node: ast.Call, env: dict) -> TypeRef:
+    def _infer_Call(self, node: ast.Call, env: dict[str, TypeRef]) -> TypeRef:
         func = node.func
         arg_vals = [
             self.infer(arg.value, env)
@@ -348,6 +367,9 @@ class FunctionAnalysis:
             builtin = self._builtin_call(node, func.id, arg_vals, kw_vals)
             if builtin is not None:
                 return builtin
+            unit = self._unit_ctor(func.id)
+            if unit is not None:
+                return unit
         if isinstance(func, ast.Attribute):
             base = self.infer(func.value, env)
             handled = self._method_on_value(node, base, func.attr, arg_vals)
@@ -363,7 +385,7 @@ class FunctionAnalysis:
         node: ast.Call,
         name: str,
         arg_vals: list[TypeRef],
-        kw_vals: dict,
+        kw_vals: dict[str, TypeRef],
     ) -> Optional[TypeRef]:
         if name in ("min", "max"):
             candidates = list(arg_vals)
@@ -464,7 +486,7 @@ class FunctionAnalysis:
         node: ast.Call,
         callee: TypeRef,
         arg_vals: list[TypeRef],
-        kw_vals: dict,
+        kw_vals: dict[str, TypeRef],
         has_star: bool,
     ) -> TypeRef:
         if callee.kind == "fn":
@@ -476,7 +498,8 @@ class FunctionAnalysis:
             mod, fn = resolved
             if not has_star:
                 self._check_args(node, mod, fn.params, arg_vals, kw_vals)
-            return self.project.resolve_annotation(mod, fn.returns)
+            declared = self.project.resolve_annotation(mod, fn.returns)
+            return self._with_summary(declared, f"{mod}.{fn.name}")
         if callee.kind == "method":
             qual, _, name = callee.qualname.partition("::")
             info = self.project.resolve_class(qual)
@@ -493,8 +516,11 @@ class FunctionAnalysis:
                 self._check_args(
                     node, owner.module, params, arg_vals, kw_vals
                 )
-            return self.project.resolve_annotation(
+            declared = self.project.resolve_annotation(
                 owner.module, method.returns
+            )
+            return self._with_summary(
+                declared, f"{owner.qualname}.{method.name}"
             )
         if callee.kind == "ctor":
             info = self.project.resolve_class(callee.qualname)
@@ -505,6 +531,32 @@ class FunctionAnalysis:
                 self._check_args(node, info.module, params, arg_vals, kw_vals)
             return TypeRef("cls", qualname=callee.qualname)
         return ANY
+
+    def _unit_ctor(self, name: str) -> Optional[TypeRef]:
+        """``Bytes(1500.0)`` carries B, exactly like a ``Bytes``-annotated
+        value -- the units module need not be part of the run."""
+        target = self.project.canonical(self.module, name)
+        if target is None:
+            return None
+        owner, _, leaf = target.rpartition(".")
+        if owner == UNITS_MODULE and leaf in UNIT_ALIASES:
+            return TypeRef(
+                "num",
+                dim=UNIT_ALIASES[leaf],
+                integral=leaf in INT_ALIASES,
+            )
+        return None
+
+    def _with_summary(self, declared: TypeRef, qualname: str) -> TypeRef:
+        """Fall back to the callee's summarized return value.
+
+        Only when the annotation says nothing: an explicit annotation
+        always wins over what the body happens to compute.
+        """
+        if declared.kind != "any" or self.summaries is None:
+            return declared
+        inferred = self.summaries.return_ref(qualname)
+        return inferred if inferred is not None else declared
 
     def _ctor_params(self, info: ClassInfo) -> Optional[Sequence[Param]]:
         found = self.project.find_method(info, "__init__")
@@ -524,7 +576,7 @@ class FunctionAnalysis:
         module: str,
         params: Sequence[Param],
         arg_vals: list[TypeRef],
-        kw_vals: dict,
+        kw_vals: dict[str, TypeRef],
     ) -> None:
         by_name = {param.name: param for param in params}
         for param, val in zip(params, arg_vals):
@@ -543,7 +595,7 @@ class FunctionAnalysis:
             )
             self.check_assignable(node, val, expected, f"argument '{name}'")
 
-    def _infer_BinOp(self, node: ast.BinOp, env: dict) -> TypeRef:
+    def _infer_BinOp(self, node: ast.BinOp, env: dict[str, TypeRef]) -> TypeRef:
         left = self.infer(node.left, env)
         right = self.infer(node.right, env)
         op_type = type(node.op)
@@ -591,7 +643,7 @@ class FunctionAnalysis:
                 return TypeRef("num", dim=left.dim**exponent)
         return ANY
 
-    def _infer_UnaryOp(self, node: ast.UnaryOp, env: dict) -> TypeRef:
+    def _infer_UnaryOp(self, node: ast.UnaryOp, env: dict[str, TypeRef]) -> TypeRef:
         operand = self.infer(node.operand, env)
         if isinstance(node.op, (ast.USub, ast.UAdd)):
             return operand
@@ -599,7 +651,7 @@ class FunctionAnalysis:
             return BOOL
         return ANY
 
-    def _infer_Compare(self, node: ast.Compare, env: dict) -> TypeRef:
+    def _infer_Compare(self, node: ast.Compare, env: dict[str, TypeRef]) -> TypeRef:
         prev = self.infer(node.left, env)
         for op, comparator in zip(node.ops, node.comparators):
             current = self.infer(comparator, env)
@@ -609,27 +661,27 @@ class FunctionAnalysis:
             prev = current
         return BOOL
 
-    def _infer_BoolOp(self, node: ast.BoolOp, env: dict) -> TypeRef:
+    def _infer_BoolOp(self, node: ast.BoolOp, env: dict[str, TypeRef]) -> TypeRef:
         result: Optional[TypeRef] = None
         for value in node.values:
             val = self.infer(value, env)
             result = val if result is None else unify(result, val)
         return result or ANY
 
-    def _infer_IfExp(self, node: ast.IfExp, env: dict) -> TypeRef:
+    def _infer_IfExp(self, node: ast.IfExp, env: dict[str, TypeRef]) -> TypeRef:
         self.infer(node.test, env)
         return unify(self.infer(node.body, env), self.infer(node.orelse, env))
 
-    def _infer_Lambda(self, node: ast.Lambda, env: dict) -> TypeRef:
+    def _infer_Lambda(self, node: ast.Lambda, env: dict[str, TypeRef]) -> TypeRef:
         return TypeRef("fn", elem=ANY)
 
-    def _infer_NamedExpr(self, node: ast.NamedExpr, env: dict) -> TypeRef:
+    def _infer_NamedExpr(self, node: ast.NamedExpr, env: dict[str, TypeRef]) -> TypeRef:
         val = self.infer(node.value, env)
         if isinstance(node.target, ast.Name):
             env[node.target.id] = val
         return val
 
-    def _infer_Subscript(self, node: ast.Subscript, env: dict) -> TypeRef:
+    def _infer_Subscript(self, node: ast.Subscript, env: dict[str, TypeRef]) -> TypeRef:
         base = self.infer(node.value, env)
         is_slice = isinstance(node.slice, ast.Slice)
         if not is_slice:
@@ -660,7 +712,7 @@ class FunctionAnalysis:
                     )
         return ANY
 
-    def _infer_Tuple(self, node: ast.Tuple, env: dict) -> TypeRef:
+    def _infer_Tuple(self, node: ast.Tuple, env: dict[str, TypeRef]) -> TypeRef:
         vals = []
         for elt in node.elts:
             if isinstance(elt, ast.Starred):
@@ -669,7 +721,7 @@ class FunctionAnalysis:
             vals.append(self.infer(elt, env))
         return TypeRef("tup", elems=tuple(vals))
 
-    def _infer_List(self, node: ast.List, env: dict) -> TypeRef:
+    def _infer_List(self, node: ast.List, env: dict[str, TypeRef]) -> TypeRef:
         elem: Optional[TypeRef] = None
         for elt in node.elts:
             if isinstance(elt, ast.Starred):
@@ -679,10 +731,10 @@ class FunctionAnalysis:
             elem = val if elem is None else unify(elem, val)
         return TypeRef("seq", elem=elem or ANY)
 
-    def _infer_Set(self, node: ast.Set, env: dict) -> TypeRef:
+    def _infer_Set(self, node: ast.Set, env: dict[str, TypeRef]) -> TypeRef:
         return self._infer_List(node, env)  # same shape rules
 
-    def _infer_Dict(self, node: ast.Dict, env: dict) -> TypeRef:
+    def _infer_Dict(self, node: ast.Dict, env: dict[str, TypeRef]) -> TypeRef:
         value: Optional[TypeRef] = None
         for key in node.keys:
             if key is not None:
@@ -693,8 +745,8 @@ class FunctionAnalysis:
         return TypeRef("map", elem=value or ANY)
 
     def _comp_env(
-        self, generators: list[ast.comprehension], env: dict
-    ) -> dict:
+        self, generators: list[ast.comprehension], env: dict[str, TypeRef]
+    ) -> dict[str, TypeRef]:
         scope = dict(env)
         for gen in generators:
             iter_val = self.infer(gen.iter, scope)
@@ -703,30 +755,30 @@ class FunctionAnalysis:
                 self.infer(cond, scope)
         return scope
 
-    def _infer_ListComp(self, node: ast.ListComp, env: dict) -> TypeRef:
+    def _infer_ListComp(self, node: ast.ListComp, env: dict[str, TypeRef]) -> TypeRef:
         scope = self._comp_env(node.generators, env)
         return TypeRef("seq", elem=self.infer(node.elt, scope))
 
-    def _infer_SetComp(self, node: ast.SetComp, env: dict) -> TypeRef:
+    def _infer_SetComp(self, node: ast.SetComp, env: dict[str, TypeRef]) -> TypeRef:
         scope = self._comp_env(node.generators, env)
         return TypeRef("seq", elem=self.infer(node.elt, scope))
 
     def _infer_GeneratorExp(
-        self, node: ast.GeneratorExp, env: dict
+        self, node: ast.GeneratorExp, env: dict[str, TypeRef]
     ) -> TypeRef:
         scope = self._comp_env(node.generators, env)
         return TypeRef("seq", elem=self.infer(node.elt, scope))
 
-    def _infer_DictComp(self, node: ast.DictComp, env: dict) -> TypeRef:
+    def _infer_DictComp(self, node: ast.DictComp, env: dict[str, TypeRef]) -> TypeRef:
         scope = self._comp_env(node.generators, env)
         self.infer(node.key, scope)
         return TypeRef("map", elem=self.infer(node.value, scope))
 
-    def _infer_Starred(self, node: ast.Starred, env: dict) -> TypeRef:
+    def _infer_Starred(self, node: ast.Starred, env: dict[str, TypeRef]) -> TypeRef:
         self.infer(node.value, env)
         return ANY
 
-    def _infer_JoinedStr(self, node: ast.JoinedStr, env: dict) -> TypeRef:
+    def _infer_JoinedStr(self, node: ast.JoinedStr, env: dict[str, TypeRef]) -> TypeRef:
         for value in node.values:
             if isinstance(value, ast.FormattedValue):
                 self.infer(value.value, env)
@@ -734,11 +786,11 @@ class FunctionAnalysis:
 
     # ----------------------------------------------------------- statements
 
-    def exec_block(self, stmts: Sequence[ast.stmt], env: dict) -> None:
+    def exec_block(self, stmts: Sequence[ast.stmt], env: dict[str, TypeRef]) -> None:
         for stmt in stmts:
             self.exec_stmt(stmt, env)
 
-    def exec_stmt(self, stmt: ast.stmt, env: dict) -> None:
+    def exec_stmt(self, stmt: ast.stmt, env: dict[str, TypeRef]) -> None:
         if isinstance(stmt, ast.Expr):
             self.infer(stmt.value, env)
         elif isinstance(stmt, ast.Assign):
@@ -781,6 +833,11 @@ class FunctionAnalysis:
                 val = self.infer(stmt.value, env)
                 declared = self._ann(self.func.returns)
                 self.check_assignable(stmt, val, declared, "return value")
+                self.return_value = (
+                    val
+                    if self.return_value is None
+                    else unify(self.return_value, val)
+                )
         elif isinstance(stmt, ast.If):
             self.infer(stmt.test, env)
             self._branch_merge(env, [stmt.body, stmt.orelse])
@@ -833,7 +890,7 @@ class FunctionAnalysis:
                     env.pop(target.id, None)
 
     def _branch_merge(
-        self, env: dict, blocks: Sequence[Sequence[ast.stmt]]
+        self, env: dict[str, TypeRef], blocks: Sequence[Sequence[ast.stmt]]
     ) -> None:
         branch_envs = []
         for block in blocks:
@@ -843,7 +900,9 @@ class FunctionAnalysis:
         self._merge_into(env, branch_envs)
 
     @staticmethod
-    def _merge_into(env: dict, branch_envs: Sequence[dict]) -> None:
+    def _merge_into(
+        env: dict[str, TypeRef], branch_envs: Sequence[dict[str, TypeRef]]
+    ) -> None:
         keys: set[str] = set()
         for branch in branch_envs:
             keys.update(branch)
@@ -855,7 +914,7 @@ class FunctionAnalysis:
             env[key] = merged
 
     def _assign_target(
-        self, target: ast.expr, val: TypeRef, env: dict
+        self, target: ast.expr, val: TypeRef, env: dict[str, TypeRef]
     ) -> None:
         if isinstance(target, ast.Name):
             env[target.id] = val
@@ -864,14 +923,16 @@ class FunctionAnalysis:
         else:
             self._store_check(target, val, env, bind=True)
 
-    def _bind_target(self, target: ast.expr, val: TypeRef, env: dict) -> None:
+    def _bind_target(
+        self, target: ast.expr, val: TypeRef, env: dict[str, TypeRef]
+    ) -> None:
         if isinstance(target, ast.Name):
             env[target.id] = val
         elif isinstance(target, (ast.Tuple, ast.List)):
             self._unpack(target, val, env)
 
     def _unpack(
-        self, target: "ast.Tuple | ast.List", val: TypeRef, env: dict
+        self, target: "ast.Tuple | ast.List", val: TypeRef, env: dict[str, TypeRef]
     ) -> None:
         elts = target.elts
         if val.kind == "tup" and len(val.elems) == len(elts):
@@ -887,7 +948,7 @@ class FunctionAnalysis:
                 self._bind_target(elt, part, env)
 
     def _store_check(
-        self, target: ast.expr, val: TypeRef, env: dict, bind: bool
+        self, target: ast.expr, val: TypeRef, env: dict[str, TypeRef], bind: bool
     ) -> None:
         """Check a store into ``obj.attr`` or ``container[i]``."""
         if isinstance(target, ast.Attribute):
@@ -914,7 +975,9 @@ class FunctionAnalysis:
 
 
 def analyze_module(
-    project: Project, module: str
+    project: Project,
+    module: str,
+    summaries: Optional["SummaryTable"] = None,
 ) -> list[tuple[FunctionInfo, Mismatch]]:
     """Run the engine over every function and method of ``module``."""
     info = project.modules.get(module)
@@ -927,7 +990,9 @@ def analyze_module(
     for cls in info.symbols.classes.values():
         jobs.extend((method, cls) for method in cls.methods.values())
     for func, cls in jobs:
-        analysis = FunctionAnalysis(project, module, func, cls)
+        analysis = FunctionAnalysis(
+            project, module, func, cls, summaries=summaries
+        )
         try:
             found = analysis.run()
         except RecursionError:  # pathological nesting: skip, never crash

@@ -14,9 +14,10 @@ flag facts that are definitely wrong.
 from __future__ import annotations
 
 import ast
+import pathlib
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.lint.flow.symbols import (
     ANY,
@@ -28,11 +29,16 @@ from repro.lint.flow.symbols import (
 )
 from repro.lint.flow.units import (
     BUILTIN_SCALARS,
+    INT_ALIASES,
     UNIT_ALIASES,
     UNITS_MODULE,
     Dim,
 )
 from repro.lint.rules.base import FileContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.flow.callgraph import CallGraph
+    from repro.lint.flow.summaries import SummaryTable
 
 _SEQUENCE_NAMES = frozenset(
     {
@@ -70,6 +76,8 @@ class Project:
             self.modules.setdefault(info.name, info)
         self._ann_cache: dict[tuple[str, int], TypeRef] = {}
         self._attr_cache: dict[tuple[str, str], TypeRef] = {}
+        self._call_graph: Optional["CallGraph"] = None
+        self._summaries: Optional["SummaryTable"] = None
 
     @classmethod
     def build(cls, contexts: list[FileContext]) -> "Project":
@@ -84,6 +92,22 @@ class Project:
                 )
             )
         return cls(infos)
+
+    def call_graph(self) -> "CallGraph":
+        """The project call graph, built once per run on first use."""
+        if self._call_graph is None:
+            from repro.lint.flow.callgraph import build_call_graph
+
+            self._call_graph = build_call_graph(self)
+        return self._call_graph
+
+    def summaries(self) -> "SummaryTable":
+        """Bounded-depth function summaries, built once per run."""
+        if self._summaries is None:
+            from repro.lint.flow.summaries import SummaryTable
+
+            self._summaries = SummaryTable.build(self)
+        return self._summaries
 
     # ------------------------------------------------------------ imports
 
@@ -183,7 +207,7 @@ class Project:
         self, module: str, name: str, seen: frozenset[tuple[str, str]]
     ) -> TypeRef:
         if name in BUILTIN_SCALARS:
-            return TypeRef("num", dim=BUILTIN_SCALARS[name])
+            return TypeRef("num", dim=BUILTIN_SCALARS[name], integral=True)
         if (module, name) in seen:
             return ANY
         info = self.modules.get(module)
@@ -211,7 +235,11 @@ class Project:
             dotted = f"{canonical}.{rest}" if rest else canonical
         owner, _, leaf = dotted.rpartition(".")
         if owner == UNITS_MODULE and leaf in UNIT_ALIASES:
-            return TypeRef("num", dim=UNIT_ALIASES[leaf])
+            return TypeRef(
+                "num",
+                dim=UNIT_ALIASES[leaf],
+                integral=leaf in INT_ALIASES,
+            )
         target = self.modules.get(owner)
         if target is not None and leaf:
             if leaf in target.symbols.classes:
@@ -421,7 +449,15 @@ def _dotted(node: ast.expr) -> Optional[str]:
 
 
 def _module_name(ctx: FileContext) -> str:
-    path = ctx.path
+    return module_name_for_path(ctx.path)
+
+
+def module_name_for_path(path: "pathlib.Path") -> str:
+    """Dotted module name of ``path``, walking ``__init__.py`` packages.
+
+    Purely filesystem-based (no parsing), so the incremental cache can
+    name modules on the warm path without touching their ASTs.
+    """
     if path.stem == "__init__":
         parts: list[str] = []
         directory = path.parent

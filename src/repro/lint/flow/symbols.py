@@ -30,6 +30,10 @@ class TypeRef:
     - ``map`` -- mapping onto values of type ``elem``
     - ``fn``  -- callable returning ``elem``
     - ``cls`` -- instance of the project class ``qualname``
+
+    ``integral`` marks int-backed scalars (``int``, ``bool``,
+    ``ByteCount``): exact-equality comparisons on them are legitimate,
+    so RL009 only fires on the float-backed remainder.
     """
 
     kind: str
@@ -37,6 +41,7 @@ class TypeRef:
     elem: Optional["TypeRef"] = None
     elems: tuple["TypeRef", ...] = ()
     qualname: str = ""
+    integral: bool = False
 
 
 ANY = TypeRef("any")

@@ -101,3 +101,7 @@ BUILTIN_SCALARS: dict[str, Dim] = {
     "int": DIMENSIONLESS,
     "bool": DIMENSIONLESS,
 }
+
+#: Unit aliases that are int-backed (``Annotated[int, ...]``). Exact
+#: equality on these is well-defined, so RL009 leaves them alone.
+INT_ALIASES: frozenset[str] = frozenset({"ByteCount"})

@@ -11,6 +11,10 @@ from repro.lint.rules.rl005_seedflow import SeedFlowRule
 from repro.lint.rules.rl006_dimensions import DimensionRule
 from repro.lint.rules.rl007_telemetry import TelemetryCostRule
 from repro.lint.rules.rl008_scheduler import SchedulerTiebreakRule
+from repro.lint.rules.rl009_tolerances import ToleranceRule
+from repro.lint.rules.rl010_process import ProcessSafetyRule
+from repro.lint.rules.rl011_simtime import SimTimeRule
+from repro.lint.rules.rl012_numpy import NumpyDisciplineRule
 
 __all__ = [
     "CacheKeyHygieneRule",
@@ -19,10 +23,14 @@ __all__ = [
     "ExperimentProtocolRule",
     "FileContext",
     "FlowRule",
+    "NumpyDisciplineRule",
+    "ProcessSafetyRule",
     "Rule",
     "SchedulerTiebreakRule",
     "SeedFlowRule",
+    "SimTimeRule",
     "TelemetryCostRule",
+    "ToleranceRule",
     "UnitsDisciplineRule",
     "default_rules",
 ]
@@ -33,7 +41,7 @@ def default_rules() -> tuple[Rule, ...]:
 
     A factory (not a module-level tuple) because rules may memoize
     per-run state -- RL002 caches each experiments directory's registry
-    -- and invocations must not see each other's caches. RL005-RL008 are
+    -- and invocations must not see each other's caches. RL005-RL012 are
     :class:`FlowRule` subclasses: they run once per invocation over the
     whole-program :class:`~repro.lint.flow.project.Project` instead of
     file by file.
@@ -47,4 +55,8 @@ def default_rules() -> tuple[Rule, ...]:
         DimensionRule(),
         TelemetryCostRule(),
         SchedulerTiebreakRule(),
+        ToleranceRule(),
+        ProcessSafetyRule(),
+        SimTimeRule(),
+        NumpyDisciplineRule(),
     )

@@ -84,6 +84,13 @@ class FlowRule(Rule):
     unchanged.
     """
 
+    #: Whether per-module findings depend only on the module's import
+    #: closure. True for every flow rule except RL010, whose findings in
+    #: module B can depend on a *caller* in module A -- outside B's
+    #: closure -- so its results are cached under a whole-project key
+    #: instead of per-module cones.
+    cone_cacheable: ClassVar[bool] = True
+
     def applies_to(self, ctx: FileContext) -> bool:
         return False
 
@@ -91,8 +98,18 @@ class FlowRule(Rule):
         return []
 
     @abc.abstractmethod
-    def check_project(self, project: "Project") -> list[Violation]:
-        """All violations of this rule across the project."""
+    def check_project(
+        self,
+        project: "Project",
+        only: Optional[frozenset[str]] = None,
+    ) -> list[Violation]:
+        """All violations of this rule across the project.
+
+        When ``only`` is given, restrict reporting to findings whose
+        *attribution module* (the module a finding's path belongs to) is
+        in the set -- the incremental cache supplies the dirty cone and
+        merges cached findings for the clean remainder.
+        """
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -28,12 +28,14 @@ import ast
 from typing import ClassVar, Optional, Sequence
 
 from repro.lint.flow.project import Project
+from repro.lint.flow.summaries import (
+    RNG_CLASS as RNG_CLASS,
+    RNG_MODULE as RNG_MODULE,
+    SummaryTable,
+)
 from repro.lint.flow.symbols import ClassInfo, FunctionInfo, ModuleSymbols, Param
-from repro.lint.rules.base import FlowRule
+from repro.lint.rules.base import FileContext, FlowRule
 from repro.lint.violations import Violation
-
-RNG_MODULE = "repro.sim.rng"
-RNG_CLASS = f"{RNG_MODULE}.SeededRNG"
 
 
 class _RngState:
@@ -54,13 +56,22 @@ class SeedFlowRule(FlowRule):
         "streams interleave draws and break per-flow reproducibility"
     )
 
-    def check_project(self, project: Project) -> list[Violation]:
+    def check_project(
+        self,
+        project: Project,
+        only: Optional[frozenset[str]] = None,
+    ) -> list[Violation]:
         out: list[Violation] = []
+        summaries = project.summaries()
         for name in sorted(project.modules):
+            if only is not None and name not in only:
+                continue
             if name == RNG_MODULE or not _imports_rng(project, name):
                 continue
             info = project.modules[name]
-            checker = _ModuleChecker(self, project, info.symbols, info.ctx)
+            checker = _ModuleChecker(
+                self, project, info.symbols, info.ctx, summaries
+            )
             out.extend(checker.run())
         return out
 
@@ -78,12 +89,14 @@ class _ModuleChecker:
         rule: SeedFlowRule,
         project: Project,
         symbols: ModuleSymbols,
-        ctx,
+        ctx: FileContext,
+        summaries: SummaryTable,
     ) -> None:
         self.rule = rule
         self.project = project
         self.symbols = symbols
         self.ctx = ctx
+        self.summaries = summaries
         self.out: list[Violation] = []
 
     def run(self) -> list[Violation]:
@@ -146,8 +159,11 @@ class _ModuleChecker:
         if isinstance(returns, ast.Name):
             owner = self.project.modules.get(module)
             if owner is not None:
-                return owner.symbols.imports.get(returns.id) == RNG_CLASS
-        return False
+                if owner.symbols.imports.get(returns.id) == RNG_CLASS:
+                    return True
+        # Unannotated wrapper: the summary table traced its return
+        # provenance through the call graph.
+        return self.summaries.rng_origin(f"{module}.{fn.name}") == "sanctioned"
 
     def _classify(self, call: ast.Call, cls: Optional[ClassInfo]) -> Optional[str]:
         """'sanctioned' / 'raw' for an RNG-producing call, else None."""
@@ -170,6 +186,9 @@ class _ModuleChecker:
                     )
                     if ref.kind == "cls" and ref.qualname == RNG_CLASS:
                         return "sanctioned"
+                    return self.summaries.rng_origin(
+                        f"{owner.qualname}.{method.name}"
+                    )
             return None
         if target == f"{RNG_MODULE}.make_rng":
             return "sanctioned"
@@ -191,6 +210,41 @@ class _ModuleChecker:
             return "raw"
         if self._returns_rng(target):
             return "sanctioned"
+        resolved = self.project.resolve_function(target)
+        if resolved is not None:
+            module, fn = resolved
+            return self.summaries.rng_origin(f"{module}.{fn.name}")
+        return None
+
+    def _callee_qualname(
+        self, call: ast.Call, cls: Optional[ClassInfo]
+    ) -> Optional[str]:
+        """Summary-table key of the called project function, if known."""
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and cls is not None
+        ):
+            found = self.project.find_method(cls, func.attr)
+            if found is not None:
+                owner, method = found
+                return f"{owner.qualname}.{method.name}"
+            return None
+        target = self._dotted_target(func)
+        if target is None:
+            return None
+        resolved = self.project.resolve_function(target)
+        if resolved is not None:
+            module, fn = resolved
+            return f"{module}.{fn.name}"
+        info = self.project.resolve_class(target)
+        if info is not None:
+            found = self.project.find_method(info, "__init__")
+            if found is not None:
+                owner, _ = found
+                return f"{owner.qualname}.__init__"
         return None
 
     def _callee_params(
@@ -408,7 +462,12 @@ class _ModuleChecker:
             state = env.get(arg.id)
             if state is None:
                 return
-            state.count += max(1, mult // state.bind_mult)
+            # Escape analysis: one pass to a fanning-out helper stands
+            # for as many consumers as the helper feeds (weight >= 1).
+            weight = self.summaries.rng_weight(
+                self._callee_qualname(call, cls), "rng"
+            )
+            state.count += max(1, mult // state.bind_mult) * weight
             if state.count > 1:
                 self.out.append(
                     self.ctx.violation(

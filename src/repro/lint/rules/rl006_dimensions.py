@@ -18,7 +18,7 @@ and stores into annotated attributes or typed containers.
 
 from __future__ import annotations
 
-from typing import ClassVar
+from typing import ClassVar, Optional
 
 from repro.lint.flow.dataflow import analyze_module
 from repro.lint.flow.project import Project
@@ -46,13 +46,20 @@ class DimensionRule(FlowRule):
         "is expected corrupts buffer targets silently"
     )
 
-    def check_project(self, project: Project) -> list[Violation]:
+    def check_project(
+        self,
+        project: Project,
+        only: Optional[frozenset[str]] = None,
+    ) -> list[Violation]:
         out: list[Violation] = []
+        summaries = project.summaries()
         for name in sorted(project.modules):
+            if only is not None and name not in only:
+                continue
             if not _uses_units(project, name):
                 continue
             ctx = project.modules[name].ctx
-            for func, problem in analyze_module(project, name):
+            for func, problem in analyze_module(project, name, summaries):
                 out.append(
                     ctx.violation(
                         problem.node,

@@ -30,17 +30,18 @@ import ast
 from typing import ClassVar, FrozenSet, Optional, Sequence
 
 from repro.lint.flow.project import Project
-from repro.lint.rules.base import FlowRule, dotted_name
+from repro.lint.flow.summaries import HOOK_FACTORY_METHODS, SummaryTable
+from repro.lint.flow.symbols import ModuleSymbols
+from repro.lint.rules.base import FileContext, FlowRule, dotted_name
 from repro.lint.violations import Violation
 
 _EXEMPT_PREFIX = "repro.telemetry"
 _HOOK_ATTR = "on_event"
 #: Factory methods whose result is "None when disabled, else a bound
 #: sample method": the telemetry bus, the metrics registry, and the
-#: flight recorder (``recorder.hook(source)``).
-_HOOK_FACTORIES = frozenset({
-    "event_hook", "counter_hook", "gauge_hook", "histogram_hook", "hook",
-})
+#: flight recorder (``recorder.hook(source)``). Canonically defined next
+#: to the summary builder, which traces them through wrappers.
+_HOOK_FACTORIES = HOOK_FACTORY_METHODS
 
 
 def _terminates(stmt: ast.stmt) -> bool:
@@ -93,9 +94,16 @@ class TelemetryCostRule(FlowRule):
         "hot path"
     )
 
-    def check_project(self, project: Project) -> list[Violation]:
+    def check_project(
+        self,
+        project: Project,
+        only: Optional[frozenset[str]] = None,
+    ) -> list[Violation]:
         out: list[Violation] = []
+        summaries = project.summaries()
         for name in sorted(project.modules):
+            if only is not None and name not in only:
+                continue
             if name == _EXEMPT_PREFIX or name.startswith(_EXEMPT_PREFIX + "."):
                 continue
             info = project.modules[name]
@@ -114,17 +122,25 @@ class TelemetryCostRule(FlowRule):
             for node in ast.walk(info.ctx.tree):
                 if isinstance(node, ast.FunctionDef):
                     checker = _FunctionChecker(
-                        self, info.ctx, attrs_of.get(node, frozenset()))
+                        self, info.ctx, attrs_of.get(node, frozenset()),
+                        project=project, symbols=info.symbols,
+                        summaries=summaries)
                     checker.check(node)
                     out.extend(checker.out)
         return out
 
 
 class _FunctionChecker:
-    def __init__(self, rule: TelemetryCostRule, ctx,
-                 hook_attrs: FrozenSet[str] = frozenset()) -> None:
+    def __init__(self, rule: TelemetryCostRule, ctx: FileContext,
+                 hook_attrs: FrozenSet[str] = frozenset(),
+                 project: Optional[Project] = None,
+                 symbols: Optional[ModuleSymbols] = None,
+                 summaries: Optional[SummaryTable] = None) -> None:
         self.rule = rule
         self.ctx = ctx
+        self.project = project
+        self.symbols = symbols
+        self.summaries = summaries
         self.out: list[Violation] = []
         self.hook_names: set[str] = set()
         self.hook_attrs = hook_attrs
@@ -168,10 +184,32 @@ class _FunctionChecker:
         """
         if _is_hook_factory_call(node):
             return True
-        return (
-            isinstance(node, ast.Attribute)
-            and (node.attr == _HOOK_ATTR or node.attr in self.hook_attrs)
-        )
+        if isinstance(node, ast.Attribute) and (
+            node.attr == _HOOK_ATTR or node.attr in self.hook_attrs
+        ):
+            return True
+        # Wrapper factory: a project function whose summary says it
+        # returns a maybe-None hook (directly or through further calls).
+        if isinstance(node, ast.Call) and self.summaries is not None:
+            qualname = self._call_qualname(node)
+            if qualname is not None and self.summaries.returns_hook(qualname):
+                return True
+        return False
+
+    def _call_qualname(self, node: ast.Call) -> Optional[str]:
+        """Summary key of a called project function, for Name calls."""
+        func = node.func
+        if not isinstance(func, ast.Name) or self.symbols is None:
+            return None
+        if func.id in self.symbols.functions:
+            return f"{self.symbols.name}.{func.id}"
+        target = self.symbols.imports.get(func.id)
+        if target is not None and self.project is not None:
+            resolved = self.project.resolve_function(target)
+            if resolved is not None:
+                module, fn = resolved
+                return f"{module}.{fn.name}"
+        return None
 
     def _hook_key(self, node: ast.expr) -> Optional[str]:
         """Canonical key if ``node`` is a hook-valued expression."""
@@ -185,8 +223,10 @@ class _FunctionChecker:
 
     # ------------------------------------------------------------ walking
 
-    def _walk(self, stmts: Sequence[ast.stmt], guarded: frozenset) -> None:
-        extra: frozenset = frozenset()
+    def _walk(
+        self, stmts: Sequence[ast.stmt], guarded: frozenset[str]
+    ) -> None:
+        extra: frozenset[str] = frozenset()
         for stmt in stmts:
             active = guarded | extra
             if isinstance(stmt, ast.If):
@@ -269,7 +309,7 @@ class _FunctionChecker:
             return key, True
         return None, True
 
-    def _scan(self, expr: ast.expr, guarded: frozenset) -> None:
+    def _scan(self, expr: ast.expr, guarded: frozenset[str]) -> None:
         for node in ast.walk(expr):
             if isinstance(node, ast.IfExp):
                 # handled coarsely: guards inside ternaries not tracked

@@ -22,7 +22,7 @@ import ast
 from typing import ClassVar, Optional
 
 from repro.lint.flow.project import Project
-from repro.lint.rules.base import FlowRule
+from repro.lint.rules.base import FileContext, FlowRule
 from repro.lint.violations import Violation
 
 _ENGINE_MODULE = "repro.sim.engine"
@@ -61,9 +61,15 @@ class SchedulerTiebreakRule(FlowRule):
         "makes golden traces hostage to the event core's tie order"
     )
 
-    def check_project(self, project: Project) -> list[Violation]:
+    def check_project(
+        self,
+        project: Project,
+        only: Optional[frozenset[str]] = None,
+    ) -> list[Violation]:
         out: list[Violation] = []
         for name in sorted(project.modules):
+            if only is not None and name not in only:
+                continue
             if name == _ENGINE_MODULE:
                 continue
             info = project.modules[name]
@@ -83,7 +89,7 @@ class SchedulerTiebreakRule(FlowRule):
         return out
 
     def _check_call(
-        self, ctx, node: ast.Call, jittered: set[str]
+        self, ctx: FileContext, node: ast.Call, jittered: set[str]
     ) -> Optional[Violation]:
         func = node.func
         if not isinstance(func, ast.Attribute):

@@ -10,7 +10,7 @@ convention to SARIF's 1-based one.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.lint.rules.base import Rule
 from repro.lint.violations import Violation
@@ -25,7 +25,7 @@ _INFO_URI = "https://example.invalid/repro/docs/LINTING.md"
 
 def build_sarif(
     violations: Sequence[Violation], rules: Sequence[Rule]
-) -> dict:
+) -> dict[str, Any]:
     """A SARIF log dict ready for ``json.dumps``."""
     rule_meta = [
         {

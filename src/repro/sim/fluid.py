@@ -42,6 +42,7 @@ from repro.core import fluid_solver, formulas
 from repro.core.config import QAConfig
 from repro.core.fluid import ScriptedAimd
 from repro.core.metrics import DropCause, DropEvent, QualityMetrics
+from repro.core.tolerances import TIME_SLACK as _TOL
 from repro.core.units import Bytes, BytesPerSec, BytesPerSec2, Seconds
 from repro.sim.trace import Tracer
 
@@ -57,10 +58,6 @@ _STALL = "stall"
 #: epochs per backoff; hitting this means a residual is oscillating at
 #: float precision and the run must fail loudly, not spin.
 MAX_EPOCHS = 100_000
-
-#: Time slack when matching an epoch endpoint against a scheduled
-#: boundary (backoff instant, playout start).
-_TOL: Seconds = 1e-9
 
 
 @dataclass

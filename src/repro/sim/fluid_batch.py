@@ -267,7 +267,7 @@ class FlowClassBatch:
             # at the instant, halve, continue. Scripts guarantee at most
             # one per window per flow.
             cursor = np.minimum(self._cursor, pad - 1)
-            tb = self.backoffs[np.arange(n), cursor]
+            tb = self.backoffs[np.arange(n, dtype=np.int64), cursor]
             due = (self._cursor < pad) & (tb < t1)
             pre_dt = np.where(due, np.clip(tb - t0, 0.0, dt), dt)
             area = self._ramp_area(self.rate, pre_dt)

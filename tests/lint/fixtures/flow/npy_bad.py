@@ -1,0 +1,26 @@
+"""RL012 fixture: dtype and shape discipline in batch array code."""
+
+import numpy as np
+
+
+def build(n: int):
+    idx = np.arange(n)
+    grid = np.zeros((n, 4), dtype=np.float64)
+    pad = np.full((n,), np.nan, dtype=np.float64)
+    counts = np.zeros(n, dtype=np.int64)
+    counts += 0.5
+    mask = idx < 3
+    sel = grid[mask]
+    small = np.zeros(n, dtype=np.float32)
+    return sel, pad, small
+
+
+def clean(n: int):
+    idx = np.arange(n, dtype=np.int64)
+    grid = np.zeros((n, 4), dtype=np.float64)
+    rowmask = np.zeros((n, 4), dtype=np.bool_)
+    acc = np.zeros(n, dtype=np.float64)
+    acc += 0.5
+    lanes = np.full((n,), np.inf, dtype=np.float64)
+    sel = grid[rowmask]
+    return idx, sel, lanes

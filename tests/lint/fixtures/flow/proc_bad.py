@@ -1,0 +1,30 @@
+"""RL010 fixture: unpicklable tasks, worker-side global writes."""
+
+import concurrent.futures
+
+_RESULTS = {}
+
+
+def record(x):
+    _RESULTS[x] = x * 2
+
+
+def worker(x):
+    return record(x)
+
+
+def pure_worker(x):
+    return x * 2
+
+
+def fan_out(items):
+    with concurrent.futures.ProcessPoolExecutor(2) as pool:
+        bad = pool.submit(lambda: 1)
+
+        def local(x):
+            return x
+
+        nested = pool.submit(local)
+        futs = [pool.submit(worker, item) for item in items]
+        good = [pool.submit(pure_worker, item) for item in items]
+    return bad, nested, futs, good

@@ -1,0 +1,25 @@
+"""RL011 fixture: scheduling in the past or in the wrong dimension."""
+
+from repro.core.units import Bytes, Seconds
+
+
+def chunk_size():
+    return Bytes(1500.0)
+
+
+class Burster:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def go(self, start: Seconds) -> None:
+        self.sim.schedule(chunk_size(), self.tick, priority=0)
+        self.sim.schedule(-0.25, self.tick, priority=0)
+        self.sim.schedule(start - self.sim.now, self.tick, priority=0)
+        self.sim.schedule_at(self.sim.now - 1.0, self.tick, priority=0)
+        clamped = max(0.0, start - self.sim.now)
+        self.sim.schedule(clamped, self.tick, priority=0)
+        self.sim.schedule(0.5, self.tick, priority=0)
+        self.sim.schedule_at(self.sim.now + 1.0, self.tick, priority=0)
+
+    def tick(self) -> None:
+        pass

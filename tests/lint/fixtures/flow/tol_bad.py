@@ -1,0 +1,29 @@
+"""RL009 fixture: decentralized tolerances, exact float equality."""
+
+from repro.core.tolerances import close
+from repro.core.units import Seconds
+
+_EPS_LOCAL = 1e-6
+
+
+def same_time(a: Seconds, b: Seconds) -> bool:
+    return a == b
+
+
+def drifted(a: Seconds, b: Seconds) -> bool:
+    return a != b
+
+
+def count_match(n: int, m: int) -> bool:
+    return n == m
+
+
+def close_enough(a: Seconds, b: Seconds) -> bool:
+    return close(a, b)
+
+
+def ordered(a: Seconds, b: Seconds) -> bool:
+    return a < b
+
+
+WINDOW = 5.0

@@ -1,0 +1,226 @@
+"""Incremental analysis cache: hits, misses, cone invalidation, flags.
+
+The cache must be invisible in the results -- every test asserts the
+cached run reports exactly what a cold run would -- while the
+instrumented tests pin down *what* was skipped: full hits parse
+nothing, partial hits scope flow analysis to the dirty import cone.
+"""
+
+import json
+
+import pytest
+
+import repro.lint.cli as cli
+from repro.lint import lint_paths
+from repro.lint.cli import main
+from repro.lint.rules.rl011_simtime import SimTimeRule
+
+BAD_NUMPY = "import numpy as np\nBAD = np.zeros(4)\n"
+GOOD_NUMPY = "import numpy as np\nGOOD = np.zeros(4, dtype=np.float64)\n"
+
+
+def keyed(violations):
+    return [(v.path, v.line, v.col, v.code, v.message) for v in violations]
+
+
+@pytest.fixture
+def proj(tmp_path):
+    src = tmp_path / "proj"
+    src.mkdir()
+    return src
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+class TestFullHit:
+    def test_warm_run_replays_without_parsing(
+        self, proj, cache_dir, monkeypatch
+    ):
+        (proj / "mod.py").write_text(BAD_NUMPY)
+        cold, n_cold = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in cold] == ["RL012"]
+
+        def boom(*args, **kwargs):
+            raise AssertionError("full hit must not parse any file")
+
+        monkeypatch.setattr(cli, "_make_entry", boom)
+        warm, n_warm = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert keyed(warm) == keyed(cold)
+        assert n_warm == n_cold
+
+    def test_source_edit_misses_and_recomputes(self, proj, cache_dir):
+        target = proj / "mod.py"
+        target.write_text(BAD_NUMPY)
+        cold, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert len(cold) == 1
+        target.write_text(GOOD_NUMPY)
+        warm, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert warm == []
+
+    def test_added_and_removed_files_miss(self, proj, cache_dir):
+        (proj / "a.py").write_text(GOOD_NUMPY)
+        lint_paths([str(proj)], cache_dir=cache_dir)
+        extra = proj / "b.py"
+        extra.write_text(BAD_NUMPY)
+        grown, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in grown] == ["RL012"]
+        extra.unlink()
+        shrunk, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert shrunk == []
+
+    def test_corrupt_index_falls_back_to_cold(self, proj, cache_dir):
+        (proj / "mod.py").write_text(BAD_NUMPY)
+        cold, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        for index in cache_dir.glob("index-*.json"):
+            index.write_text("{not json")
+        again, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert keyed(again) == keyed(cold)
+
+
+class TestConeInvalidation:
+    A = (
+        "from b import helper\n"
+        "def go(sim, cb):\n"
+        "    sim.schedule(helper(), cb, priority=0)\n"
+    )
+    B_CLEAN = "def helper():\n    return 0.5\n"
+    B_BYTES = (
+        "from repro.core.units import Bytes\n"
+        "def helper():\n"
+        "    return Bytes(1500.0)\n"
+    )
+
+    def test_dependency_edit_invalidates_dependent(self, proj, cache_dir):
+        (proj / "a.py").write_text(self.A)
+        b = proj / "b.py"
+        b.write_text(self.B_CLEAN)
+        clean, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert clean == []
+
+        # a.py is untouched, but b's return type now carries bytes: the
+        # finding must appear in a.py via reverse-cone invalidation.
+        b.write_text(self.B_BYTES)
+        dirty, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in dirty] == ["RL011"]
+        assert dirty[0].path.endswith("a.py")
+
+        b.write_text(self.B_CLEAN)
+        reverted, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert reverted == []
+
+    def test_partial_run_scopes_flow_to_dirty_cone(
+        self, proj, cache_dir, monkeypatch
+    ):
+        (proj / "x.py").write_text("def left():\n    return 1\n")
+        (proj / "y.py").write_text("def right():\n    return 2\n")
+        lint_paths([str(proj)], cache_dir=cache_dir)
+
+        seen = []
+        original = SimTimeRule.check_project
+
+        def spy(self, project, only=None):
+            seen.append(only)
+            return original(self, project, only=only)
+
+        monkeypatch.setattr(SimTimeRule, "check_project", spy)
+        (proj / "y.py").write_text("def right():\n    return 3\n")
+        lint_paths([str(proj)], cache_dir=cache_dir)
+        assert seen == [frozenset({"y"})]
+
+
+class TestFlagComposition:
+    def test_changed_filters_on_top_of_cache(
+        self, proj, cache_dir, monkeypatch, capsys
+    ):
+        import subprocess
+
+        (proj / "mod.py").write_text(BAD_NUMPY)
+        (proj / "other.py").write_text(GOOD_NUMPY)
+        monkeypatch.chdir(proj)
+        for cmd in (
+            ["git", "init", "-q"],
+            ["git", "add", "."],
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-qm", "seed"],
+        ):
+            subprocess.run(cmd, check=True)
+        args = [str(proj), "--cache-dir", str(cache_dir)]
+        assert main(args) == 1  # cold: violation reported
+        capsys.readouterr()
+
+        # Warm + --changed with a clean diff: the cached finding is in
+        # an unchanged file, so nothing is reported.
+        assert main(args + ["--changed"]) == 0
+        capsys.readouterr()
+
+        # Touch the violating file: --changed reports it again, through
+        # the (now partially invalidated) cache.
+        (proj / "mod.py").write_text(BAD_NUMPY + "# touched\n")
+        assert main(args + ["--changed"]) == 1
+        out = capsys.readouterr()
+        assert "RL012" in out.out
+
+    def test_show_suppressed_audits_from_cached_directives(
+        self, proj, cache_dir, capsys, monkeypatch
+    ):
+        (proj / "mod.py").write_text(
+            "import numpy as np\n"
+            "PAD = np.zeros(4)  # repro-lint: disable=RL012\n"
+            "OK = 1  # repro-lint: disable=RL001\n"
+        )
+        args = [str(proj), "--cache-dir", str(cache_dir)]
+        assert main(args) == 0  # populate: the RL012 finding is suppressed
+        capsys.readouterr()
+
+        def boom(*a, **k):
+            raise AssertionError("full hit must not parse any file")
+
+        monkeypatch.setattr(cli, "_make_entry", boom)
+        assert main(args + ["--show-suppressed"]) == 1
+        out = capsys.readouterr().out
+        assert "disable=RL012 used" in out
+        assert "disable=RL001 STALE" in out
+
+    def test_no_cache_flag_bypasses_the_index(self, proj, cache_dir):
+        (proj / "mod.py").write_text(BAD_NUMPY)
+        args = [str(proj), "--cache-dir", str(cache_dir)]
+        assert main(args + ["--no-cache"]) == 1
+        assert list(cache_dir.glob("index-*.json")) == []
+        assert main(args) == 1
+        assert len(list(cache_dir.glob("index-*.json"))) == 1
+
+    def test_rule_subsets_cache_independently(self, proj, cache_dir):
+        (proj / "mod.py").write_text(BAD_NUMPY)
+        full, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in full] == ["RL012"]
+        from repro.lint.rules import SimTimeRule as STR
+
+        subset, _ = lint_paths(
+            [str(proj)], rules=[STR()], cache_dir=cache_dir
+        )
+        assert subset == []
+        again, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in again] == ["RL012"]
+        assert len(list(cache_dir.glob("index-*.json"))) == 2
+
+
+class TestIndexIntegrity:
+    def test_raw_findings_are_cached_pre_suppression(
+        self, proj, cache_dir
+    ):
+        (proj / "mod.py").write_text(
+            "import numpy as np\n"
+            "PAD = np.zeros(4)  # repro-lint: disable=RL012\n"
+        )
+        suppressed, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert suppressed == []
+        index = json.loads(
+            next(cache_dir.glob("index-*.json")).read_text()
+        )
+        record = next(iter(index["files"].values()))
+        assert [row[3] for row in record["per_file"]] == []
+        assert [row[3] for row in record["flow"]] == ["RL012"]
+        assert record["directives"] == [[2, "RL012", False]]

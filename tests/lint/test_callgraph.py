@@ -1,0 +1,188 @@
+"""Call-graph builder and function summaries: unit tests.
+
+These are the interprocedural substrate under RL005-RL012: definite-only
+call edges, bounded reachability, and per-function summaries (RNG
+origin, branch-aware RNG fanout, hook returns, global writes) that
+propagate across call boundaries to a fixed point.
+"""
+
+import ast
+import pathlib
+
+from repro.lint.flow.project import Project
+from repro.lint.rules.base import FileContext
+
+
+def project_of(tmp_path, sources):
+    contexts = []
+    for name, source in sources.items():
+        path = tmp_path / f"{name}.py"
+        path.write_text(source)
+        contexts.append(
+            FileContext(
+                path=path.resolve(),
+                display_path=str(path),
+                source=source,
+                tree=ast.parse(source),
+            )
+        )
+    return Project.build(contexts)
+
+
+class TestCallGraphEdges:
+    def test_direct_and_imported_calls(self, tmp_path):
+        project = project_of(tmp_path, {
+            "util": "def leaf():\n    return 1\n",
+            "app": (
+                "from util import leaf\n"
+                "def mid():\n"
+                "    return leaf()\n"
+                "def top():\n"
+                "    return mid()\n"
+            ),
+        })
+        graph = project.call_graph()
+        assert "util.leaf" in graph.callees("app.mid")
+        assert "app.mid" in graph.callees("app.top")
+        assert "app.top" in graph.callers("app.mid")
+
+    def test_self_method_and_ctor_edges(self, tmp_path):
+        project = project_of(tmp_path, {
+            "obj": (
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self.n = 0\n"
+                "    def bump(self):\n"
+                "        self.n += 1\n"
+                "    def twice(self):\n"
+                "        self.bump()\n"
+                "        self.bump()\n"
+                "def make():\n"
+                "    return Box()\n"
+            ),
+        })
+        graph = project.call_graph()
+        assert "obj.Box.bump" in graph.callees("obj.Box.twice")
+        assert "obj.Box.__init__" in graph.callees("obj.make")
+
+    def test_reachable_is_depth_bounded(self, tmp_path):
+        chain = "\n".join(
+            f"def f{i}():\n    return f{i + 1}()" for i in range(10)
+        ) + "\ndef f10():\n    return 0\n"
+        project = project_of(tmp_path, {"chain": chain})
+        graph = project.call_graph()
+        near = graph.reachable("chain.f0", max_depth=2)
+        assert "chain.f2" in near
+        assert "chain.f3" not in near
+        far = graph.reachable("chain.f0", max_depth=10)
+        assert "chain.f10" in far
+
+
+class TestSummaries:
+    def test_rng_origin_propagates_through_wrappers(self, tmp_path):
+        project = project_of(tmp_path, {
+            "rngs": (
+                "import random\n"
+                "def fresh(parent):\n"
+                "    return parent.spawn('x')\n"
+                "def wrapped(parent):\n"
+                "    return fresh(parent)\n"
+                "def rogue():\n"
+                "    return random.Random(7)\n"
+                "def rogue_wrapped():\n"
+                "    return rogue()\n"
+            ),
+        })
+        summaries = project.summaries()
+        assert summaries.rng_origin("rngs.fresh") == "sanctioned"
+        assert summaries.rng_origin("rngs.wrapped") == "sanctioned"
+        assert summaries.rng_origin("rngs.rogue") == "raw"
+        assert summaries.rng_origin("rngs.rogue_wrapped") == "raw"
+
+    def test_fanout_takes_branch_maximum_not_sum(self, tmp_path):
+        project = project_of(tmp_path, {
+            "fan": (
+                "def use(rng):\n"
+                "    return rng.uniform(0, 1)\n"
+                "def dispatch(kind, rng):\n"
+                "    if kind == 'a':\n"
+                "        return use(rng)\n"
+                "    return use(rng)\n"
+                "def spray(rng):\n"
+                "    a = use(rng)\n"
+                "    b = use(rng)\n"
+                "    return a + b\n"
+                "def looped(rng):\n"
+                "    for _ in range(3):\n"
+                "        use(rng)\n"
+                "def deep(rng):\n"
+                "    return spray(rng)\n"
+            ),
+        })
+        summaries = project.summaries()
+        # Exclusive dispatch arms: the worst path hands off once.
+        assert summaries.rng_weight("fan.dispatch", "rng") == 1
+        # Sequential hand-offs accumulate.
+        assert summaries.rng_weight("fan.spray", "rng") == 2
+        # A loop body hands off on every iteration.
+        assert summaries.rng_weight("fan.looped", "rng") >= 2
+        # A wrapper inherits its callee's fanout, not a flat 1.
+        assert summaries.rng_weight("fan.deep", "rng") == 2
+
+    def test_returns_hook_through_helper(self, tmp_path):
+        project = project_of(tmp_path, {
+            "tel": (
+                "def direct(metrics):\n"
+                "    return metrics.counter_hook('tx')\n"
+                "def indirect(metrics):\n"
+                "    return direct(metrics)\n"
+                "def plain(metrics):\n"
+                "    return 7\n"
+            ),
+        })
+        summaries = project.summaries()
+        assert summaries.returns_hook("tel.direct")
+        assert summaries.returns_hook("tel.indirect")
+        assert not summaries.returns_hook("tel.plain")
+
+    def test_global_writes_record_rebinds_and_mutations(self, tmp_path):
+        project = project_of(tmp_path, {
+            "glob": (
+                "COUNT = 0\n"
+                "MEMO = {}\n"
+                "def rebind():\n"
+                "    global COUNT\n"
+                "    COUNT = 1\n"
+                "def mutate(x):\n"
+                "    MEMO[x] = x\n"
+                "def local_only():\n"
+                "    memo = {}\n"
+                "    memo['x'] = 1\n"
+                "    return memo\n"
+            ),
+        })
+        summaries = project.summaries()
+        rebind = summaries.get("glob.rebind")
+        assert [(w.name, w.kind) for w in rebind.global_writes] == [
+            ("COUNT", "rebind")
+        ]
+        mutate = summaries.get("glob.mutate")
+        assert [(w.name, w.kind) for w in mutate.global_writes] == [
+            ("MEMO", "mutate")
+        ]
+        assert summaries.get("glob.local_only").global_writes == ()
+
+    def test_return_ref_infers_unit_through_chain(self, tmp_path):
+        project = project_of(tmp_path, {
+            "sizes": (
+                "from repro.core.units import Bytes\n"
+                "def base():\n"
+                "    return Bytes(1500.0)\n"
+                "def wrapped():\n"
+                "    return base()\n"
+            ),
+        })
+        summaries = project.summaries()
+        ref = summaries.return_ref("sizes.wrapped")
+        assert ref is not None and ref.kind == "num"
+        assert ref.dim is not None and ref.dim.render() == "B"
