@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Asyncio service load benchmark: emits ``BENCH_service.json``.
+
+Runs the real UDP streaming service on loopback — an in-process
+:class:`~repro.service.server.StreamingService` plus a
+:class:`~repro.service.client.LoadFleet` — and reports the numbers the
+service work is judged by:
+
+- ``sessions_per_sec``: completed sessions per wall second of fleet
+  runtime (handshake, streaming, graceful FIN teardown included);
+- ``feedback_p50`` / ``feedback_p99``: ACK echo-to-receipt latency
+  percentiles, the service-side congestion feedback delay;
+- ``adapter_decisions_per_sec``: FlightRecorder-counted quality-adapter
+  decision records per second across all sessions — the rate the
+  paper's mechanism actually runs at under real-socket load;
+- ``stalls`` and ``failed``: must both stay 0 on an unimpaired link.
+
+Unlike the simulator benchmarks these numbers ride on wall-clock I/O,
+so thresholds gate only on *correctness* shape (schema, zero stalls),
+not on absolute throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick    # CI
+
+The JSON schema is checked by the ``service-soak`` CI job; bump
+``SCHEMA`` and update that job when the layout changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import time
+
+from repro.core.config import QAConfig
+from repro.service.client import LoadFleet
+from repro.service.results import fleet_result, percentile
+from repro.service.server import ServiceConfig, StreamingService
+
+SCHEMA = 1
+
+#: Keys every report must carry, nested section by section. The CI soak
+#: job fails when a produced report stops matching this shape.
+REQUIRED_KEYS = {
+    "schema": None,
+    "quick": None,
+    "load": ("sessions", "duration", "spread", "wall_seconds",
+             "sessions_per_sec", "completed", "failed", "stalls",
+             "fairness", "bytes_received", "mean_rate"),
+    "feedback": ("acks", "p50", "p99", "mean"),
+    "adapter": ("decisions", "decisions_per_sec", "mean_layers"),
+    "shutdown": ("leaked_tasks", "queue_drops"),
+}
+
+#: A compact profile so --quick stays inside a CI minute: 4 layers at
+#: 4 KB/s keeps per-session throughput modest while still exercising
+#: the add ladder and flow control.
+_QA = QAConfig(layer_rate=4000.0, max_layers=4, packet_size=400,
+               startup_delay=0.5, max_buffer_seconds=4.0)
+
+
+async def _run_load(sessions: int, duration: float,
+                    spread: float) -> dict:
+    config = ServiceConfig(qa=_QA, max_sessions=sessions,
+                           record_decisions=True)
+    service = await StreamingService.start(config)
+    start = time.perf_counter()
+    try:
+        fleet = LoadFleet("127.0.0.1", service.port,
+                          sessions=sessions, duration=duration,
+                          spread=spread)
+        results = await fleet.run()
+    finally:
+        await service.close()
+    wall = time.perf_counter() - start
+    leaked = [t for t in asyncio.all_tasks()
+              if t is not asyncio.current_task()]
+
+    ok = [r for r in results if r.ok]
+    scenario = fleet_result(results, duration)
+    layer_means = [f.mean_layers() for f in scenario.flows]
+    latencies = service.feedback_latencies
+    decisions = service.decisions_recorded
+    return {
+        "schema": SCHEMA,
+        "load": {
+            "sessions": sessions,
+            "duration": duration,
+            "spread": spread,
+            "wall_seconds": wall,
+            "sessions_per_sec": len(ok) / wall if wall > 0 else 0.0,
+            "completed": len(ok),
+            "failed": len(results) - len(ok),
+            "stalls": sum(r.playout.stall_count for r in ok),
+            "fairness": scenario.fairness,
+            "bytes_received": sum(r.bytes_received for r in ok),
+            "mean_rate": (sum(r.mean_rate for r in ok) / len(ok)
+                          if ok else 0.0),
+        },
+        "feedback": {
+            "acks": len(latencies),
+            "p50": percentile(latencies, 50.0),
+            "p99": percentile(latencies, 99.0),
+            "mean": (sum(latencies) / len(latencies)
+                     if latencies else 0.0),
+        },
+        "adapter": {
+            "decisions": decisions,
+            "decisions_per_sec": decisions / wall if wall > 0 else 0.0,
+            "mean_layers": (sum(layer_means) / len(layer_means)
+                            if layer_means else 0.0),
+        },
+        "shutdown": {
+            "leaked_tasks": len(leaked),
+            "queue_drops": service.counters["queue_drops"],
+        },
+    }
+
+
+def run_report(quick: bool) -> dict:
+    sessions = 25 if quick else 200
+    duration = 5.0 if quick else 30.0
+    spread = 1.0 if quick else 5.0
+    report = asyncio.run(_run_load(sessions, duration, spread))
+    report["quick"] = quick
+    return report
+
+
+def check_schema(report: dict) -> list[str]:
+    """Names of missing sections/fields (empty when the shape is right)."""
+    missing = []
+    for section, fields in REQUIRED_KEYS.items():
+        if section not in report:
+            missing.append(section)
+            continue
+        for field in fields or ():
+            if field not in report[section]:
+                missing.append(f"{section}.{field}")
+    return missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Asyncio service benchmark (BENCH_service.json).")
+    parser.add_argument("--quick", action="store_true",
+                        help="25 sessions x 5 s instead of 200 x 30 s")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_report(quick=args.quick)
+    missing = check_schema(report)
+    if missing:
+        print(f"schema drift, missing: {', '.join(missing)}")
+        return 1
+
+    target = pathlib.Path(args.out)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    load = report["load"]
+    print(f"load     : {load['completed']}/{load['sessions']} sessions "
+          f"in {load['wall_seconds']:.1f} s "
+          f"({load['sessions_per_sec']:.1f} sessions/s), "
+          f"{load['stalls']} stalls, fairness {load['fairness']:.3f}")
+    fb = report["feedback"]
+    print(f"feedback : p50 {fb['p50'] * 1e3:.2f} ms, "
+          f"p99 {fb['p99'] * 1e3:.2f} ms over {fb['acks']:,} ACKs")
+    ad = report["adapter"]
+    print(f"adapter  : {ad['decisions']:,} decisions "
+          f"({ad['decisions_per_sec']:,.0f}/s), "
+          f"mean layers {ad['mean_layers']:.2f}")
+    sd = report["shutdown"]
+    print(f"shutdown : {sd['leaked_tasks']} leaked tasks, "
+          f"{sd['queue_drops']} queue drops")
+    if load["failed"] or load["stalls"] or sd["leaked_tasks"]:
+        print("FAIL: unimpaired loopback must complete every session "
+              "with zero stalls and a clean shutdown")
+        return 1
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

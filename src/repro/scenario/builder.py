@@ -305,7 +305,9 @@ class Scenario:
                     tracer=built.fluid_run.tracer,
                     metrics=built.fluid_run.adapter.metrics,
                     playout=PlayoutStats(),
-                    duration=duration)
+                    duration=duration,
+                    # FluidRun always samples its own tracer.
+                    telemetry_enabled=True)
             flow_results.append(FlowResult(
                 index=built.index,
                 kind=built.kind,

@@ -31,12 +31,9 @@ class FlowResult:
 
     def mean_layers(self) -> Optional[float]:
         """Time-averaged active layers (QA flows with telemetry only)."""
-        if self.session is None:
+        if self.session is None or not self.session.telemetry_enabled:
             return None
-        try:
-            return self.session.tracer.get("layers").time_average()
-        except KeyError:
-            return None
+        return self.session.tracer.get("layers").time_average()
 
 
 @dataclass

@@ -1,15 +1,34 @@
-"""End-to-end streaming: video server, client, and session wiring.
+"""End-to-end streaming: session core, video server, client, wiring.
 
-- :class:`~repro.server.server.VideoServer` -- a RAP source whose packets
-  are scheduled by a :class:`~repro.core.adapter.QualityAdapter`.
+- :class:`~repro.server.core.SessionCore` -- the transport-agnostic
+  adapter wiring (payload picking, feedback, ticks) shared by the packet
+  simulator and the asyncio service, with tape record/replay.
+- :class:`~repro.server.server.VideoServer` -- a simulated RAP source
+  whose packets are scheduled by the core's
+  :class:`~repro.core.adapter.QualityAdapter`.
 - :class:`~repro.server.client.VideoClient` -- a RAP sink feeding a
   :class:`~repro.media.playout.PlayoutBuffer`.
 - :class:`~repro.server.session.StreamingSession` -- builds both ends on a
   dumbbell slot and records every time series the paper's figures plot.
 """
 
+from repro.server.core import (
+    SessionCore,
+    SessionTape,
+    SessionTransport,
+    TapeReplayTransport,
+)
 from repro.server.server import VideoServer
 from repro.server.client import VideoClient
 from repro.server.session import StreamingSession, SessionResult
 
-__all__ = ["VideoServer", "VideoClient", "StreamingSession", "SessionResult"]
+__all__ = [
+    "SessionCore",
+    "SessionTape",
+    "SessionTransport",
+    "TapeReplayTransport",
+    "VideoServer",
+    "VideoClient",
+    "StreamingSession",
+    "SessionResult",
+]

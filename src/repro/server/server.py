@@ -6,6 +6,11 @@ source providing congestion-controlled transmission opportunities, and a
 :class:`~repro.core.adapter.QualityAdapter` deciding which layer each
 opportunity carries. ACKs feed the adapter's receiver-buffer estimate;
 backoff notifications trigger the drop rule and freeze the draining path.
+
+The wiring itself lives in the transport-agnostic :class:`~repro.server.
+core.SessionCore`; this class binds it to the *simulated* RAP transport
+and drives its ticks from the event loop. The asyncio service
+(:mod:`repro.service`) binds the identical core to a real socket pacer.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Optional
 from repro.core.adapter import QualityAdapter
 from repro.core.config import QAConfig
 from repro.media.stream import LayeredStream
+from repro.server.core import SessionCore, SessionTape
 from repro.sim.engine import Simulator
 from repro.sim.node import Host
 from repro.sim.trace import PeriodicSampler
@@ -22,7 +28,7 @@ from repro.transport.rap import RapSource
 
 
 class VideoServer:
-    """Streams one layered clip to one client over RAP."""
+    """Streams one layered clip to one client over simulated RAP."""
 
     def __init__(
         self,
@@ -35,16 +41,18 @@ class VideoServer:
         on_event=None,
         adapter_cls: type[QualityAdapter] = QualityAdapter,
         transport_cls: type[RapSource] = RapSource,
+        tape: Optional[SessionTape] = None,
     ) -> None:
         self.sim = sim
-        self.config = config
-        self.stream = stream or LayeredStream(
-            layer_rate=config.layer_rate, n_layers=config.max_layers)
-        if self.stream.n_layers < config.max_layers:
-            # The codec produced fewer layers than the adapter would use.
-            config = config.with_(max_layers=self.stream.n_layers)
-            self.config = config
-
+        self.core = SessionCore(
+            config,
+            now_fn=lambda: sim.now,
+            stream=stream,
+            start=start,
+            on_event=on_event,
+            adapter_cls=adapter_cls,
+            tape=tape,
+        )
         # Any AIMD transport with RAP's hook signature works here (the
         # paper's section-7 plan); see repro.transport.aimd. The
         # adapter's event hook is shared with the transport so backoffs,
@@ -52,25 +60,32 @@ class VideoServer:
         # add/drop choices they caused.
         self.rap = transport_cls(
             sim, host, client_name,
-            packet_size=config.packet_size,
+            packet_size=self.core.config.packet_size,
             start=start,
-            payload_picker=self._pick_payload,
-            on_ack=self._on_ack,
-            on_loss=self._on_loss,
-            on_backoff=self._on_backoff,
+            payload_picker=self.core.pick_payload,
+            on_ack=self.core.on_ack,
+            on_loss=self.core.on_loss,
+            on_backoff=self.core.on_backoff,
             on_event=on_event,
         )
-        self.adapter = adapter_cls(
-            config,
-            now_fn=lambda: sim.now,
-            rate_fn=lambda: self.rap.rate,
-            slope_fn=lambda: self.rap.slope,
-            start_time=start,
-            on_event=on_event,
-        )
+        self.core.bind_transport(self.rap)
         self._ticker = PeriodicSampler(
-            sim, config.drain_period, lambda _now: self.adapter.tick(),
+            sim, self.core.config.drain_period,
+            lambda _now: self.core.tick(),
             start=start)
+
+    @property
+    def config(self) -> QAConfig:
+        """The effective (possibly layer-narrowed) session config."""
+        return self.core.config
+
+    @property
+    def stream(self) -> LayeredStream:
+        return self.core.stream
+
+    @property
+    def adapter(self) -> QualityAdapter:
+        return self.core.adapter
 
     @property
     def flow_id(self) -> int:
@@ -78,26 +93,8 @@ class VideoServer:
 
     @property
     def active_layers(self) -> int:
-        return self.adapter.active_layers
+        return self.core.active_layers
 
     def stop(self) -> None:
         self.rap.stop()
         self._ticker.stop()
-
-    # ------------------------------------------------------------- wiring
-
-    def _pick_payload(self, seq: int) -> Optional[dict]:
-        return self.adapter.pick_layer(seq)
-
-    def _on_ack(self, seq: int, meta: dict, size: int) -> None:
-        layer = meta.get("layer")
-        if layer is not None:
-            self.adapter.on_delivered(layer, size)
-
-    def _on_loss(self, seq: int, meta: dict, size: int) -> None:
-        layer = meta.get("layer")
-        if layer is not None:
-            self.adapter.on_lost(layer, size)
-
-    def _on_backoff(self, new_rate: float) -> None:
-        self.adapter.on_backoff(new_rate)

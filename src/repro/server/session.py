@@ -41,12 +41,20 @@ from repro.telemetry import SessionProbe, TelemetryBus
 
 @dataclass
 class SessionResult:
-    """Everything an experiment needs after the run."""
+    """Everything an experiment needs after the run.
+
+    ``telemetry_enabled`` records whether the session's bus sampled the
+    trace series. Downstream reports branch on it instead of catching
+    ``KeyError``: a missing ``layers``/``rate`` series on an
+    instrumented run is a real error and raises, while a headless run
+    says so explicitly.
+    """
 
     tracer: Tracer
     metrics: QualityMetrics
     playout: PlayoutStats
     duration: float
+    telemetry_enabled: bool = True
 
     def summary(self) -> dict:
         out = self.metrics.summary()
@@ -55,13 +63,16 @@ class SessionResult:
             stall_time_receiver=self.playout.stall_time,
             gap_bytes=self.playout.total_gap_bytes,
         )
-        try:
+        if self.telemetry_enabled:
+            # A KeyError here is a genuine bug (instrumented run with a
+            # missing series), not a disabled-telemetry artifact.
             out["mean_layers"] = self.tracer.get("layers").time_average()
             out["mean_rate"] = self.tracer.get("rate").time_average()
-        except KeyError:
-            # Telemetry was disabled for this run; the trace-derived
-            # means simply are not available.
-            pass
+        else:
+            # Mark the omission explicitly so consumers can distinguish
+            # "telemetry off" from "series lost". (Instrumented runs
+            # keep their exact historical key set.)
+            out["telemetry_enabled"] = False
         return out
 
 
@@ -114,6 +125,7 @@ class StreamingSession:
             metrics=self.server.adapter.metrics,
             playout=self.client.playout.stats,
             duration=self.sim.now - self._start,
+            telemetry_enabled=self.telemetry.enabled,
         )
 
     def stop(self) -> None:

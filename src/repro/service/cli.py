@@ -1,0 +1,234 @@
+"""``repro-serve`` / ``repro-load`` console entry points.
+
+``repro-serve`` binds the asyncio streaming service and runs until its
+``--duration`` elapses (or forever with 0, until interrupted).
+
+``repro-load`` drives a fleet of concurrent load sessions against a
+running server — or, with ``--self-serve``, starts an in-process server
+on an ephemeral loopback port first, which is how CI soaks the service
+in one command with no port coordination. The fleet's outcome flows
+through the same report path simulated scenarios use (per-session QoE
+plus aggregate Jain fairness), with optional JSON output for gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import QAConfig
+from repro.service.client import LoadFleet
+from repro.service.impairment import ImpairmentConfig
+from repro.service.results import (fleet_result, fleet_summary,
+                                   percentile, render_fleet_report)
+from repro.service.server import ServiceConfig, StreamingService
+
+
+def _qa_from_args(args: argparse.Namespace) -> QAConfig:
+    return QAConfig(
+        layer_rate=args.layer_rate,
+        max_layers=args.max_layers,
+        packet_size=args.packet_size,
+        max_buffer_seconds=args.max_buffer,
+    )
+
+
+def _add_qa_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--layer-rate", type=float, default=2500.0,
+                        help="per-layer consumption C in bytes/s")
+    parser.add_argument("--max-layers", type=int, default=8)
+    parser.add_argument("--packet-size", type=int, default=1000)
+    parser.add_argument("--max-buffer", type=float, default=8.0,
+                        help="receiver flow-control cap in seconds")
+
+
+def _service_config(args: argparse.Namespace,
+                    port: Optional[int] = None) -> ServiceConfig:
+    return ServiceConfig(
+        host=args.host,
+        port=args.port if port is None else port,
+        qa=_qa_from_args(args),
+        max_sessions=args.max_sessions,
+        record_decisions=getattr(args, "flight", None) is not None,
+        collect_metrics=getattr(args, "metrics_out", None) is not None,
+    )
+
+
+def _write_service_outputs(service: StreamingService,
+                           args: argparse.Namespace) -> None:
+    if getattr(args, "flight", None) and service.recorder is not None:
+        service.recorder.write_jsonl(pathlib.Path(args.flight))
+    if getattr(args, "metrics_out", None) and service.metrics is not None:
+        pathlib.Path(args.metrics_out).write_text(
+            service.metrics.to_prometheus())
+
+
+# ------------------------------------------------------------------ serve
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="asyncio layered-video streaming server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9653)
+    parser.add_argument("--duration", type=float, default=0.0,
+                        help="seconds to serve; 0 = until interrupted")
+    parser.add_argument("--max-sessions", type=int, default=512)
+    _add_qa_args(parser)
+    parser.add_argument("--flight", metavar="PATH",
+                        help="write adapter decision JSONL on exit")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write Prometheus metrics text on exit")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service = await StreamingService.start(_service_config(args))
+    if not args.quiet:
+        print(f"repro-serve: listening on "
+              f"{args.host}:{service.port}", flush=True)
+    try:
+        if args.duration > 0:
+            await asyncio.sleep(args.duration)
+        else:
+            await asyncio.Event().wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await service.close()
+        _write_service_outputs(service, args)
+    if not args.quiet:
+        print(f"repro-serve: {service.counters}", flush=True)
+    return 0
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_serve_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+# ------------------------------------------------------------------- load
+
+
+def _build_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-load",
+        description="async load-generator fleet for repro-serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9653)
+    parser.add_argument("--sessions", type=int, default=10)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="per-session streaming time in seconds")
+    parser.add_argument("--spread", type=float, default=1.0,
+                        help="stagger session starts across this many s")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="i.i.d. receive loss probability")
+    parser.add_argument("--delay", type=float, default=0.0,
+                        help="fixed extra one-way delay in seconds")
+    parser.add_argument("--jitter", type=float, default=0.0,
+                        help="uniform extra delay in [0, jitter] s")
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        help="token-bucket rate in bytes/s")
+    parser.add_argument("--self-serve", action="store_true",
+                        help="start an in-process server on an "
+                             "ephemeral port (single-command soak)")
+    parser.add_argument("--max-sessions", type=int, default=512)
+    _add_qa_args(parser)
+    parser.add_argument("--flight", metavar="PATH",
+                        help="with --self-serve: decision JSONL")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="with --self-serve: Prometheus text")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the plain-text report here too")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the aggregate summary as JSON")
+    parser.add_argument("--expect-zero-stalls", action="store_true",
+                        help="exit non-zero if any session stalled "
+                             "(CI gate for unimpaired links)")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+async def _load(args: argparse.Namespace) -> int:
+    service: Optional[StreamingService] = None
+    port = args.port
+    if args.self_serve:
+        service = await StreamingService.start(
+            _service_config(args, port=0))
+        port = service.port
+    try:
+        fleet = LoadFleet(
+            args.host, port,
+            sessions=args.sessions,
+            duration=args.duration,
+            impairment=ImpairmentConfig(
+                loss_rate=args.loss,
+                delay=args.delay,
+                jitter=args.jitter,
+                rate_limit=args.rate_limit,
+            ),
+            seed=args.seed,
+            spread=args.spread,
+        )
+        results = await fleet.run()
+    finally:
+        if service is not None:
+            await service.close()
+            _write_service_outputs(service, args)
+
+    scenario = fleet_result(results, args.duration)
+    summary = fleet_summary(results, scenario)
+    if service is not None:
+        lat = service.feedback_latencies
+        summary["feedback_p50"] = percentile(lat, 50.0)
+        summary["feedback_p99"] = percentile(lat, 99.0)
+        summary["queue_drops"] = service.counters["queue_drops"]
+        leaked = [t for t in asyncio.all_tasks()
+                  if t is not asyncio.current_task()]
+        summary["leaked_tasks"] = len(leaked)
+    report = render_fleet_report(results, args.duration,
+                                 scenario=scenario)
+    if not args.quiet:
+        print(report)
+    if args.out:
+        pathlib.Path(args.out).write_text(report)
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(summary, sort_keys=True, indent=2) + "\n")
+
+    status = 0
+    if summary["failed"]:
+        print(f"repro-load: {summary['failed']} sessions failed",
+              file=sys.stderr)
+        status = 1
+    if args.expect_zero_stalls and summary["stalls"]:
+        print(f"repro-load: expected zero stalls, saw "
+              f"{summary['stalls']}", file=sys.stderr)
+        status = 1
+    if service is not None and summary["leaked_tasks"]:
+        print(f"repro-load: {summary['leaked_tasks']} tasks leaked "
+              f"after shutdown", file=sys.stderr)
+        status = 1
+    return status
+
+
+def load_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_load_parser().parse_args(argv)
+    try:
+        return asyncio.run(_load(args))
+    except KeyboardInterrupt:
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(load_main())

@@ -1,0 +1,353 @@
+"""The async load-generator fleet.
+
+Each :class:`LoadClient` is one receiving session on its own connected
+UDP socket: it handshakes (HELLO/WELCOME), runs every arriving DATA
+frame through a scripted :class:`~repro.service.impairment.Impairment`
+shim, plays admitted frames through the simulator's own
+:class:`~repro.media.playout.PlayoutBuffer` (identical QoE accounting:
+stalls, startup time, gap bytes), ACKs with the frame's echoed
+timestamp, and tears down with FIN/FIN_ACK — recovering the server's
+adapter decision summary so a service run reports the same
+add/drop/efficiency numbers a simulated run does.
+
+:class:`LoadFleet` fans out hundreds of such sessions concurrently with
+staggered starts; per-session randomness (the impairment's loss/jitter
+draws) is a :meth:`~repro.sim.rng.SeededRNG.spawn` of one fleet seed,
+so a fleet's loss *pattern* is reproducible even though wall-clock
+arrival times are not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.metrics import DropCause, DropEvent, QualityMetrics
+from repro.media.playout import PlayoutBuffer, PlayoutStats
+from repro.server.session import SessionResult
+from repro.service import protocol
+from repro.service.impairment import Impairment, ImpairmentConfig
+from repro.sim.rng import SeededRNG, make_rng
+from repro.sim.trace import Tracer
+
+#: How long to wait for a WELCOME / FIN_ACK before retransmitting.
+HANDSHAKE_TIMEOUT = 0.5
+HANDSHAKE_RETRIES = 10
+
+
+def metrics_from_summary(summary: dict) -> QualityMetrics:
+    """Rebuild the server's :class:`QualityMetrics` from a FIN_ACK body."""
+    metrics = QualityMetrics()
+    for time, layer in summary.get("adds", []):
+        metrics.record_add(time, layer)
+    for (time, layer, cause, buf_drop, buf_total, required,
+         drainable) in summary.get("drops", []):
+        metrics.record_drop(DropEvent(
+            time=time, layer=layer, buf_drop=buf_drop,
+            buf_total=buf_total, required=required,
+            cause=DropCause(cause), drainable=drainable))
+    metrics.startup_latency = summary.get("startup_latency")
+    return metrics
+
+
+@dataclass
+class LoadSessionResult:
+    """One load session's outcome, shaped for the existing report path."""
+
+    label: str
+    session_id: int
+    duration: float
+    bytes_received: int = 0
+    packets_received: int = 0
+    acks_sent: int = 0
+    dropped_random: int = 0
+    dropped_backlog: int = 0
+    queue_dropped: int = 0
+    tracer: Tracer = field(default_factory=Tracer)
+    playout: PlayoutStats = field(default_factory=PlayoutStats)
+    server_summary: dict = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean received goodput in bytes/s."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_received / self.duration
+
+    def to_session_result(self) -> SessionResult:
+        """The same shape a simulated :class:`StreamingSession` yields."""
+        return SessionResult(
+            tracer=self.tracer,
+            metrics=metrics_from_summary(self.server_summary),
+            playout=self.playout,
+            duration=self.duration,
+            telemetry_enabled=True,
+        )
+
+
+class LoadClient(asyncio.DatagramProtocol):
+    """One receiving session on its own connected datagram socket."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        label: str,
+        duration: float,
+        impairment: Optional[ImpairmentConfig] = None,
+        rng: Optional[SeededRNG] = None,
+        nonce: int = 0,
+        sample_period: float = 0.1,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.label = label
+        self.duration = duration
+        self.nonce = nonce
+        self.sample_period = sample_period
+        impairment = impairment or ImpairmentConfig()
+        self.impairment = (
+            Impairment(impairment, rng or make_rng(0))
+            if impairment.active else None)
+
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._closed = False
+        self.session_id: Optional[int] = None
+        self.session_config: dict = {}
+        self.playout: Optional[PlayoutBuffer] = None
+        self.tracer = Tracer()
+        self.bytes_received = 0
+        self.packets_received = 0
+        self.acks_sent = 0
+        self._last_sample_t = 0.0
+        self._last_sample_bytes = 0
+        self._welcome: Optional[asyncio.Future] = None
+        self._fin_ack: Optional[asyncio.Future] = None
+
+    def _now(self) -> float:
+        assert self._loop is not None
+        return self._loop.time() - self._t0
+
+    # ------------------------------------------------------------- protocol
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def connection_lost(self, exc) -> None:
+        self.transport = None
+
+    def error_received(self, exc) -> None:
+        pass
+
+    def _resolve(self, fut: Optional[asyncio.Future],
+                 value: object) -> None:
+        if fut is not None and not fut.done():
+            fut.set_result(value)
+
+    def datagram_received(self, data: bytes, addr: tuple) -> None:
+        try:
+            frame = protocol.decode(data)
+        except protocol.ProtocolError:
+            return
+        if isinstance(frame, protocol.DataFrame):
+            self._on_data(frame)
+        elif isinstance(frame, protocol.WelcomeFrame):
+            self._resolve(self._welcome, frame)
+        elif isinstance(frame, protocol.RejectFrame):
+            self._resolve(self._welcome, frame)
+        elif isinstance(frame, protocol.FinAckFrame):
+            self._resolve(self._fin_ack, frame)
+
+    # ----------------------------------------------------------- data path
+
+    def _on_data(self, frame: protocol.DataFrame) -> None:
+        if self._closed or frame.session_id != self.session_id:
+            return
+        now = self._now()
+        if self.impairment is None:
+            self._deliver(frame, now)
+            return
+        delay = self.impairment.admit(frame.size, now)
+        if delay is None:
+            return  # dropped: the missing ACK is the loss signal
+        if delay <= 0:
+            self._deliver(frame, now)
+        else:
+            assert self._loop is not None
+            self._loop.call_later(
+                delay, self._deliver, frame, now + delay)
+
+    def _deliver(self, frame: protocol.DataFrame, when: float) -> None:
+        if self._closed or self.transport is None:
+            return
+        if self.playout is None:
+            self.playout = PlayoutBuffer(
+                layer_rate=self.session_config["layer_rate"],
+                max_layers=self.session_config["max_layers"],
+                playout_start=(
+                    when + self.session_config["startup_delay"]),
+            )
+        self.playout.on_packet(when, frame.layer, frame.size,
+                               server_active=frame.active)
+        self.bytes_received += frame.size
+        self.packets_received += 1
+        self.transport.sendto(protocol.encode_ack(
+            frame.session_id, frame.seq, frame.send_ts))
+        self.acks_sent += 1
+
+    def _sample(self) -> None:
+        now = self._now()
+        if now <= self._last_sample_t:
+            return
+        if self.playout is not None:
+            self.playout.advance(now)
+            layers = float(self.playout.active_layers)
+        else:
+            layers = 0.0
+        rate = ((self.bytes_received - self._last_sample_bytes)
+                / (now - self._last_sample_t))
+        self.tracer.record("layers", now, layers)
+        self.tracer.record("rate", now, rate)
+        self._last_sample_t = now
+        self._last_sample_bytes = self.bytes_received
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def _request(self, frame: bytes, fut: asyncio.Future,
+                       what: str) -> object:
+        assert self.transport is not None
+        for _ in range(HANDSHAKE_RETRIES):
+            self.transport.sendto(frame)
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(fut), HANDSHAKE_TIMEOUT)
+            except asyncio.TimeoutError:
+                continue
+        raise TimeoutError(f"no {what} after {HANDSHAKE_RETRIES} tries")
+
+    async def run(self) -> LoadSessionResult:
+        """Handshake, receive for ``duration`` seconds, tear down."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._t0 = loop.time()
+        self._welcome = loop.create_future()
+        self._fin_ack = loop.create_future()
+        await loop.create_datagram_endpoint(
+            lambda: self, remote_addr=(self.host, self.port))
+        result = LoadSessionResult(
+            label=self.label, session_id=-1, duration=self.duration,
+            tracer=self.tracer)
+        try:
+            try:
+                reply = await self._request(
+                    protocol.encode_hello(self.nonce, {}),
+                    self._welcome, "WELCOME")
+            except TimeoutError as exc:
+                result.error = str(exc)
+                return result
+            if isinstance(reply, protocol.RejectFrame):
+                result.error = f"rejected: {reply.reason}"
+                return result
+            assert isinstance(reply, protocol.WelcomeFrame)
+            self.session_id = reply.session_id
+            self.session_config = reply.config
+            result.session_id = reply.session_id
+
+            end = self._now() + self.duration
+            while True:
+                remaining = end - self._now()
+                if remaining <= 0:
+                    break
+                await asyncio.sleep(min(self.sample_period, remaining))
+                self._sample()
+
+            self._closed = True  # stop ACKing; quiesce before FIN
+            try:
+                fin_ack = await self._request(
+                    protocol.encode_fin(self.session_id),
+                    self._fin_ack, "FIN_ACK")
+            except TimeoutError as exc:
+                result.error = str(exc)
+                return result
+            assert isinstance(fin_ack, protocol.FinAckFrame)
+            result.server_summary = fin_ack.summary
+        finally:
+            self._closed = True
+            if self.transport is not None:
+                self.transport.close()
+            result.bytes_received = self.bytes_received
+            result.packets_received = self.packets_received
+            result.acks_sent = self.acks_sent
+            if self.impairment is not None:
+                result.dropped_random = self.impairment.dropped_random
+                result.dropped_backlog = self.impairment.dropped_backlog
+            if self.playout is not None:
+                result.playout = self.playout.stats
+        return result
+
+
+class LoadFleet:
+    """Many concurrent load sessions against one service."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        sessions: int = 10,
+        duration: float = 10.0,
+        impairment: Optional[ImpairmentConfig] = None,
+        seed: int = 0,
+        spread: float = 1.0,
+        sample_period: float = 0.1,
+    ) -> None:
+        if sessions <= 0:
+            raise ValueError("sessions must be positive")
+        self.host = host
+        self.port = port
+        self.sessions = sessions
+        self.duration = duration
+        self.impairment = impairment or ImpairmentConfig()
+        self.seed = seed
+        self.spread = spread
+        self.sample_period = sample_period
+
+    async def run(self) -> list[LoadSessionResult]:
+        """Run the whole fleet; one result per session, in index order."""
+        root = make_rng(self.seed)
+
+        async def one(index: int) -> LoadSessionResult:
+            # Stagger starts across ``spread`` seconds so hundreds of
+            # HELLOs do not land in one event-loop tick.
+            await asyncio.sleep(self.spread * index / self.sessions)
+            client = LoadClient(
+                self.host, self.port,
+                label=f"load{index}",
+                duration=self.duration,
+                impairment=self.impairment,
+                rng=root.spawn(f"load{index}"),
+                nonce=index,
+                sample_period=self.sample_period,
+            )
+            return await client.run()
+
+        gathered = await asyncio.gather(
+            *(one(i) for i in range(self.sessions)),
+            return_exceptions=True)
+        results: list[LoadSessionResult] = []
+        for index, item in enumerate(gathered):
+            if isinstance(item, BaseException):
+                results.append(LoadSessionResult(
+                    label=f"load{index}", session_id=-1,
+                    duration=self.duration,
+                    error=f"{type(item).__name__}: {item}"))
+            else:
+                results.append(item)
+        return results

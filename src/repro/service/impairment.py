@@ -1,0 +1,100 @@
+"""Scripted loopback impairment: loss, delay, jitter, token bucket.
+
+CI machines cannot ``tc netem``; the load generator instead impairs
+traffic *in process*, at the receive path of each client session. Every
+arriving frame is run through :meth:`Impairment.admit`, which answers
+"deliver after this many extra seconds" or "drop" from three composable
+stages:
+
+1. **token bucket** (``rate_limit`` bytes/s, ``bucket_depth`` burst):
+   frames queue behind the bucket's refill, modelling a constrained
+   last-mile link; a backlog beyond ``max_backlog`` seconds tail-drops —
+   exactly the congestion signal RAP's loss detection needs.
+2. **random loss** (``loss_rate``): i.i.d. drops from a seeded stream.
+3. **delay + jitter**: fixed one-way ``delay`` plus a uniform draw in
+   ``[0, jitter]`` — the netem shape.
+
+Randomness comes from a :class:`~repro.sim.rng.SeededRNG` stream, so a
+fleet's loss *pattern* is reproducible per (seed, session); arrival
+times are wall-clock and therefore not bit-stable, which is fine — the
+service path measures throughput envelopes, not golden traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """One session's scripted network conditions (all off by default)."""
+
+    #: i.i.d. probability of dropping a frame.
+    loss_rate: float = 0.0
+    #: Fixed extra one-way delay in seconds.
+    delay: float = 0.0
+    #: Uniform random extra delay in [0, jitter] seconds.
+    jitter: float = 0.0
+    #: Token-bucket drain rate in bytes/s (None: unlimited).
+    rate_limit: Optional[float] = None
+    #: Token-bucket burst allowance in bytes.
+    bucket_depth: float = 8000.0
+    #: Seconds of queueing behind the bucket before tail drop.
+    max_backlog: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError("delay/jitter cannot be negative")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive")
+        if self.bucket_depth <= 0:
+            raise ValueError("bucket_depth must be positive")
+        if self.max_backlog <= 0:
+            raise ValueError("max_backlog must be positive")
+
+    @property
+    def active(self) -> bool:
+        """Does this config perturb traffic at all?"""
+        return (self.loss_rate > 0 or self.delay > 0 or self.jitter > 0
+                or self.rate_limit is not None)
+
+
+class Impairment:
+    """Stateful per-session shim applying an :class:`ImpairmentConfig`."""
+
+    def __init__(self, config: ImpairmentConfig, rng: SeededRNG,
+                 now: float = 0.0) -> None:
+        self.config = config
+        self.rng = rng
+        self._tokens = config.bucket_depth
+        self._last_refill = now
+        self.dropped_random = 0
+        self.dropped_backlog = 0
+        self.delivered = 0
+
+    def admit(self, nbytes: int, now: float) -> Optional[float]:
+        """Extra delivery delay in seconds, or ``None`` to drop."""
+        cfg = self.config
+        queue_delay = 0.0
+        if cfg.rate_limit is not None:
+            elapsed = max(0.0, now - self._last_refill)
+            self._last_refill = now
+            self._tokens = min(cfg.bucket_depth,
+                               self._tokens + elapsed * cfg.rate_limit)
+            backlog = max(0.0, -(self._tokens - nbytes)) / cfg.rate_limit
+            if backlog > cfg.max_backlog:
+                self.dropped_backlog += 1
+                return None
+            self._tokens -= nbytes
+            queue_delay = backlog
+        if cfg.loss_rate > 0 and self.rng.random() < cfg.loss_rate:
+            self.dropped_random += 1
+            return None
+        jitter = self.rng.uniform(0.0, cfg.jitter) if cfg.jitter > 0 else 0.0
+        self.delivered += 1
+        return queue_delay + cfg.delay + jitter

@@ -1,0 +1,118 @@
+"""Fold fleet outcomes into the simulator's result shapes.
+
+A service run should land in the exact report path a simulated scenario
+uses: :func:`fleet_result` builds a
+:class:`~repro.scenario.result.ScenarioResult` (per-flow
+:class:`~repro.scenario.result.FlowResult` rows, Jain fairness over
+mean delivered rates) from :class:`~repro.service.client.
+LoadSessionResult` objects, and :func:`render_fleet_report` renders it
+with the same :mod:`repro.analysis.report` helpers the figures use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_kv, format_table
+from repro.scenario.result import FlowResult, ScenarioResult
+from repro.service.client import LoadSessionResult
+from repro.sim.flowmon import jain_index
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on empty input."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = int(round((q / 100.0) * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+def fleet_result(results: Sequence[LoadSessionResult],
+                 duration: float) -> ScenarioResult:
+    """A :class:`ScenarioResult` over the fleet's successful sessions.
+
+    Failed sessions (handshake timeouts, rejections) are excluded from
+    the flow rows — report them from the raw results — and there is no
+    instrumented bottleneck on a real loopback, so ``link_utilization``
+    is empty.
+    """
+    ok = [r for r in results if r.ok]
+    total_bytes = sum(r.bytes_received for r in ok)
+    flows = []
+    for index, r in enumerate(ok):
+        flows.append(FlowResult(
+            index=index,
+            kind="qa",
+            label=r.label,
+            flow_id=r.session_id,
+            start=0.0,
+            bytes_delivered=r.bytes_received,
+            mean_rate=r.mean_rate,
+            share=(r.bytes_received / total_bytes
+                   if total_bytes > 0 else 0.0),
+            session=r.to_session_result(),
+        ))
+    return ScenarioResult(
+        flows=flows,
+        duration=duration,
+        fairness=jain_index([f.mean_rate for f in flows]),
+        link_utilization=[],
+    )
+
+
+def fleet_summary(results: Sequence[LoadSessionResult],
+                  scenario: ScenarioResult) -> dict:
+    """Aggregate fleet numbers for the report header."""
+    ok = [r for r in results if r.ok]
+    failed = [r for r in results if not r.ok]
+    stalls = sum(r.playout.stall_count for r in ok)
+    return {
+        "sessions": len(results),
+        "completed": len(ok),
+        "failed": len(failed),
+        "fairness": scenario.fairness,
+        "total_bytes": sum(r.bytes_received for r in ok),
+        "mean_rate": (sum(r.mean_rate for r in ok) / len(ok)
+                      if ok else 0.0),
+        "stalls": stalls,
+        "dropped_random": sum(r.dropped_random for r in ok),
+        "dropped_backlog": sum(r.dropped_backlog for r in ok),
+    }
+
+
+def render_fleet_report(results: Sequence[LoadSessionResult],
+                        duration: float,
+                        title: str = "service load report",
+                        scenario: Optional[ScenarioResult] = None,
+                        ) -> str:
+    """The per-session QoE table plus fleet aggregates, as plain text."""
+    if scenario is None:
+        scenario = fleet_result(results, duration)
+    sections = [format_kv(fleet_summary(results, scenario), title=title)]
+    rows = []
+    by_label = {r.label: r for r in results if r.ok}
+    for flow in scenario.flows:
+        raw = by_label[flow.label]
+        summary = flow.session.summary() if flow.session else {}
+        rows.append([
+            flow.label,
+            flow.mean_rate,
+            flow.mean_layers(),
+            summary.get("adds"),
+            summary.get("drops"),
+            raw.playout.stall_count,
+            raw.playout.stall_time,
+            raw.playout.total_gap_bytes,
+        ])
+    sections.append(format_table(
+        ["session", "rate B/s", "layers", "adds", "drops",
+         "stalls", "stall s", "gap B"],
+        rows, title="per-session QoE"))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        sections.append(format_table(
+            ["session", "error"],
+            [[r.label, r.error] for r in failed],
+            title="failed sessions"))
+    return "\n".join(sections)

@@ -1,0 +1,477 @@
+"""The asyncio UDP streaming server.
+
+:class:`StreamingService` is a single datagram endpoint multiplexing
+many sessions: each HELLO spawns a :class:`ServiceSession` owning one
+:class:`~repro.server.core.SessionCore` (the paper's quality adapter
+plus feedback wiring — the same object the simulator drives) and one
+:class:`~repro.service.pacing.RapPacer` (the sans-IO AIMD controller).
+A per-session asyncio task runs the send loop; the shared
+``datagram_received`` dispatches ACK/FIN feedback to the owning session
+by session id.
+
+Clocking: every timestamp is *service-relative* — ``loop.time() - t0``
+— so decision records and FIN_ACK summaries read like simulation
+traces (seconds from service start), and DATA ``send_ts`` echoes stay
+small enough for the wire format.
+
+Backpressure: each session owns a bounded outbox. When the event loop
+pauses writing (socket buffer full) frames queue there; a full outbox
+drops the *oldest* frame (the receiver treats it as loss, which is the
+correct congestion signal) and counts it.
+
+Flow control: the service config defaults ``max_buffer_seconds`` so an
+uncongested loopback session parks at a bounded receiver buffer and the
+pacer's ``max_rate`` cap keeps the send loop from spinning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import QAConfig
+from repro.server.core import SessionCore
+from repro.service import protocol
+from repro.service.pacing import PacerActions, RapPacer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import FlightRecorder
+
+#: Feedback-latency histogram bounds (seconds): loopback sits in the
+#: first buckets, an impaired WAN profile in the last.
+FEEDBACK_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                    0.1, 0.25, 0.5, 1.0, 2.5)
+
+#: Cap on raw feedback-latency samples kept for percentile reporting.
+MAX_LATENCY_SAMPLES = 250_000
+
+
+def default_service_qa() -> QAConfig:
+    """The service's QA profile: the paper's defaults plus flow control.
+
+    ``max_buffer_seconds`` bounds the receiver buffer an uncongested
+    session accumulates; without it a loopback run fills memory at
+    ``max_rate`` for the whole soak.
+    """
+    return QAConfig(max_buffer_seconds=8.0)
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one :class:`StreamingService` instance."""
+
+    host: str = "127.0.0.1"
+    #: UDP port; 0 binds an ephemeral port (read it back from
+    #: :attr:`StreamingService.port`).
+    port: int = 0
+    qa: QAConfig = field(default_factory=default_service_qa)
+    #: HELLOs beyond this many live sessions are REJECTed.
+    max_sessions: int = 512
+    #: Seconds without an ACK before a session is reaped.
+    session_timeout: float = 10.0
+    #: Bounded per-session outbox (frames) for paused-transport spells.
+    send_queue_frames: int = 64
+    #: Emulated RTT floor for the pacer (see RapPacer.srtt_floor).
+    srtt_floor: float = 0.02
+    #: max_rate = headroom * max_layers * layer_rate.
+    rate_headroom: float = 2.0
+    #: Record adapter decisions into a FlightRecorder.
+    record_decisions: bool = False
+    recorder_capacity: int = 65536
+    #: Collect MetricsRegistry counters/gauges/histograms.
+    collect_metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.qa.packet_size < protocol.MIN_PACKET_SIZE:
+            raise ValueError(
+                f"packet_size {self.qa.packet_size} below protocol "
+                f"minimum {protocol.MIN_PACKET_SIZE}")
+        if self.max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        if self.send_queue_frames <= 0:
+            raise ValueError("send_queue_frames must be positive")
+
+    @property
+    def max_rate(self) -> float:
+        """Pacer rate cap in bytes/s."""
+        return (self.rate_headroom
+                * self.qa.max_layers * self.qa.layer_rate)
+
+
+def session_summary(core: SessionCore, pacer: RapPacer) -> dict:
+    """The server-side session outcome shipped in the FIN_ACK body.
+
+    JSON-friendly: the client rebuilds a
+    :class:`~repro.core.metrics.QualityMetrics` from it so service runs
+    flow through the exact report path simulated runs use.
+    """
+    m = core.adapter.metrics
+    return {
+        "active_layers": core.active_layers,
+        "adds": [[t, layer] for t, layer in m.adds],
+        "drops": [
+            [e.time, e.layer, e.cause.value, e.buf_drop, e.buf_total,
+             e.required, e.drainable]
+            for e in m.drops
+        ],
+        "startup_latency": m.startup_latency,
+        "sent_per_layer": list(core.adapter.sent_bytes_per_layer),
+        "retransmitted_bytes": core.adapter.retransmitted_bytes,
+        "backoffs": pacer.backoffs,
+        "packets_lost": pacer.packets_lost,
+        "acks_received": pacer.acks_received,
+        "final_rate": pacer.rate,
+        "srtt": pacer.srtt,
+    }
+
+
+class ServiceSession:
+    """One client's stream: SessionCore + RapPacer + send task."""
+
+    def __init__(self, service: "StreamingService", session_id: int,
+                 addr: tuple) -> None:
+        self.service = service
+        self.session_id = session_id
+        self.addr = addr
+        self.label = f"session{session_id}"
+        now = service.now()
+        cfg = service.config
+        recorder_hook = (service.recorder.hook(self.label)
+                         if service.recorder is not None else None)
+        self.core = SessionCore(
+            cfg.qa, now_fn=service.now, start=now,
+            on_event=recorder_hook)
+        # The pacer *is* a SessionTransport: it exposes rate and slope.
+        self.pacer = RapPacer(
+            self.core.config.packet_size, now,
+            srtt_floor=cfg.srtt_floor, max_rate=cfg.max_rate)
+        self.core.bind_transport(self.pacer)
+        self.outbox: deque = deque()
+        self.queue_drops = 0
+        self.data_sent = 0
+        self.started = now
+        self.done = False
+        self._drain_period = self.core.config.drain_period
+        self._next_tick = now + self._drain_period
+        self.task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------ sending
+
+    def _transmit(self, frame: bytes) -> None:
+        service = self.service
+        if service.send_paused or self.outbox:
+            if len(self.outbox) >= service.config.send_queue_frames:
+                self.outbox.popleft()
+                self.queue_drops += 1
+                service.count("queue_drops")
+            self.outbox.append(frame)
+            return
+        service.sendto(frame, self.addr)
+
+    def flush(self) -> None:
+        """Drain the outbox after the transport resumes writing."""
+        service = self.service
+        while self.outbox and not service.send_paused:
+            service.sendto(self.outbox.popleft(), self.addr)
+
+    def _send_data(self, now: float) -> None:
+        meta = self.core.pick_payload(self.pacer.next_seq)
+        if meta is None:
+            # Receiver flow control: burn the opportunity idle, exactly
+            # like the simulated RapSource does.
+            self.pacer.skip_send(now)
+            return
+        size = self.core.config.packet_size
+        seq = self.pacer.register_send(now, meta, size)
+        frame = protocol.encode_data(
+            self.session_id, seq, meta["layer"], self.core.active_layers,
+            now, size)
+        self._transmit(frame)
+        self.data_sent += 1
+
+    # ----------------------------------------------------------- feedback
+
+    def _apply(self, actions: PacerActions) -> None:
+        # Order matters and mirrors the simulated RapSource: deliveries,
+        # then losses, then the (single) backoff for the event.
+        for seq, meta, size in actions.acked:
+            self.core.on_ack(seq, meta, size)
+        for seq, meta, size in actions.lost:
+            self.core.on_loss(seq, meta, size)
+        if actions.backoff_rate is not None:
+            self.core.on_backoff(actions.backoff_rate)
+
+    def handle_ack(self, frame: protocol.AckFrame) -> None:
+        now = self.service.now()
+        self._apply(self.pacer.on_ack(frame.acked_seq, frame.echo_ts,
+                                      now))
+        self.service.observe_feedback_latency(now - frame.echo_ts)
+
+    # ---------------------------------------------------------- main loop
+
+    async def run(self) -> None:
+        service = self.service
+        timeout = service.config.session_timeout
+        try:
+            while not self.done:
+                now = service.now()
+                self._apply(self.pacer.advance(now))
+                while now >= self._next_tick:
+                    self.core.tick()
+                    self._next_tick += self._drain_period
+                if self.pacer.send_due(now):
+                    self._send_data(now)
+                if now - self.pacer.last_ack_time > timeout:
+                    service.expire_session(self)
+                    return
+                now = service.now()
+                deadline = min(self.pacer.next_deadline(now),
+                               self._next_tick)
+                await asyncio.sleep(max(0.0, deadline - now))
+        except asyncio.CancelledError:
+            raise
+
+    def finish(self) -> None:
+        """Stop the send loop; the task exits at its next wakeup."""
+        self.done = True
+
+
+class StreamingService(asyncio.DatagramProtocol):
+    """The datagram endpoint multiplexing every session.
+
+    Use :meth:`start` to bind::
+
+        service = await StreamingService.start(ServiceConfig())
+        ... drive load against service.port ...
+        await service.close()
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 recorder: Optional[FlightRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        if recorder is None and cfg.record_decisions:
+            recorder = FlightRecorder(capacity=cfg.recorder_capacity)
+        if metrics is None and cfg.collect_metrics:
+            metrics = MetricsRegistry()
+        if metrics is not None and not metrics.enabled:
+            # RL007 discipline: a disabled registry is the same as none.
+            metrics = None
+        self.recorder = recorder
+        self.metrics = metrics
+        self.sessions: dict[int, ServiceSession] = {}
+        self._by_addr: dict[tuple, int] = {}
+        #: Every live session task, including FIN'd sessions whose task
+        #: has not observed its ``done`` flag yet — close() must cancel
+        #: these too or they leak past shutdown.
+        self._tasks: set[asyncio.Task] = set()
+        self._next_session_id = 1
+        self.send_paused = False
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._closed = False
+        #: Raw feedback-latency samples (seconds) for percentiles.
+        self.feedback_latencies: list[float] = []
+        self.counters = {
+            "sessions_started": 0,
+            "sessions_completed": 0,
+            "sessions_expired": 0,
+            "sessions_rejected": 0,
+            "acks_received": 0,
+            "malformed_frames": 0,
+            "queue_drops": 0,
+        }
+        self._feedback_hist = (
+            metrics.histogram_hook(
+                "service_feedback_latency_seconds",
+                "ACK echo-to-receipt latency",
+                buckets=FEEDBACK_BUCKETS)
+            if metrics is not None else None)
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    async def start(cls, config: Optional[ServiceConfig] = None,
+                    recorder: Optional[FlightRecorder] = None,
+                    metrics: Optional[MetricsRegistry] = None,
+                    ) -> "StreamingService":
+        service = cls(config, recorder=recorder, metrics=metrics)
+        loop = asyncio.get_running_loop()
+        service._loop = loop
+        service._t0 = loop.time()
+        await loop.create_datagram_endpoint(
+            lambda: service,
+            local_addr=(service.config.host, service.config.port))
+        return service
+
+    @property
+    def port(self) -> int:
+        assert self.transport is not None, "service not started"
+        return self.transport.get_extra_info("sockname")[1]
+
+    def now(self) -> float:
+        """Service-relative seconds (the session clock)."""
+        assert self._loop is not None
+        return self._loop.time() - self._t0
+
+    async def close(self) -> None:
+        """Graceful shutdown: cancel session tasks, close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self.sessions.clear()
+        self._by_addr.clear()
+        if self.transport is not None:
+            self.transport.close()
+        # Let the transport's connection_lost callback run so the
+        # socket is fully released before we return.
+        await asyncio.sleep(0)
+
+    # ----------------------------------------------------------- bookkeeping
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"service_{name}_total").inc(amount)
+
+    def observe_feedback_latency(self, latency: float) -> None:
+        if latency < 0:
+            return
+        if len(self.feedback_latencies) < MAX_LATENCY_SAMPLES:
+            self.feedback_latencies.append(latency)
+        if self._feedback_hist is not None:
+            self._feedback_hist(latency)
+
+    @property
+    def decisions_recorded(self) -> int:
+        return (self.recorder.total_recorded
+                if self.recorder is not None else 0)
+
+    # ------------------------------------------------------------- protocol
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def connection_lost(self, exc) -> None:
+        self.transport = None
+
+    def pause_writing(self) -> None:
+        self.send_paused = True
+
+    def resume_writing(self) -> None:
+        self.send_paused = False
+        for session in self.sessions.values():
+            session.flush()
+
+    def error_received(self, exc) -> None:
+        # ICMP errors (e.g. a client went away); the idle reaper handles
+        # the session.
+        pass
+
+    def sendto(self, frame: bytes, addr: tuple) -> None:
+        if self.transport is not None:
+            self.transport.sendto(frame, addr)
+
+    def datagram_received(self, data: bytes, addr: tuple) -> None:
+        try:
+            frame = protocol.decode(data)
+        except protocol.ProtocolError:
+            self.count("malformed_frames")
+            return
+        if isinstance(frame, protocol.HelloFrame):
+            self._handle_hello(frame, addr)
+        elif isinstance(frame, protocol.AckFrame):
+            session = self.sessions.get(frame.session_id)
+            if session is not None and not session.done:
+                self.count("acks_received")
+                session.handle_ack(frame)
+        elif isinstance(frame, protocol.FinFrame):
+            self._handle_fin(frame, addr)
+        else:
+            self.count("malformed_frames")
+
+    # ------------------------------------------------------------- sessions
+
+    def _welcome_body(self, session: ServiceSession) -> dict:
+        cfg = session.core.config
+        return {
+            "layer_rate": cfg.layer_rate,
+            "max_layers": cfg.max_layers,
+            "packet_size": cfg.packet_size,
+            "startup_delay": cfg.startup_delay,
+        }
+
+    def _handle_hello(self, frame: protocol.HelloFrame,
+                      addr: tuple) -> None:
+        existing = self._by_addr.get(addr)
+        if existing is not None:
+            # Duplicate HELLO (lost WELCOME): re-send, don't respawn.
+            session = self.sessions[existing]
+            self.sendto(protocol.encode_welcome(
+                session.session_id, self._welcome_body(session)), addr)
+            return
+        if len(self.sessions) >= self.config.max_sessions:
+            self.count("sessions_rejected")
+            self.sendto(protocol.encode_reject("server full"), addr)
+            return
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        session = ServiceSession(self, session_id, addr)
+        self.sessions[session_id] = session
+        self._by_addr[addr] = session_id
+        self.count("sessions_started")
+        if self.metrics is not None:
+            self.metrics.gauge("service_active_sessions").set(
+                len(self.sessions))
+        self.sendto(protocol.encode_welcome(
+            session_id, self._welcome_body(session)), addr)
+        assert self._loop is not None
+        session.task = self._loop.create_task(
+            session.run(), name=f"repro-serve-{session.label}")
+        self._tasks.add(session.task)
+        session.task.add_done_callback(self._tasks.discard)
+
+    def _remove(self, session: ServiceSession) -> None:
+        self.sessions.pop(session.session_id, None)
+        if self._by_addr.get(session.addr) == session.session_id:
+            self._by_addr.pop(session.addr, None)
+        if self.metrics is not None:
+            self.metrics.gauge("service_active_sessions").set(
+                len(self.sessions))
+
+    def _handle_fin(self, frame: protocol.FinFrame, addr: tuple) -> None:
+        session = self.sessions.get(frame.session_id)
+        if session is None:
+            # FIN retransmit for an already-finished session: re-ACK
+            # with an empty summary so the client stops retrying.
+            self.sendto(protocol.encode_fin_ack(frame.session_id, {}),
+                        addr)
+            return
+        session.finish()
+        self.count("sessions_completed")
+        self.sendto(protocol.encode_fin_ack(
+            session.session_id,
+            session_summary(session.core, session.pacer)), addr)
+        self._remove(session)
+        # datagram_received never runs inside the session task, so a
+        # direct cancel is safe and frees the task immediately.
+        if session.task is not None:
+            session.task.cancel()
+
+    def expire_session(self, session: ServiceSession) -> None:
+        """The idle reaper fired: drop a session that stopped ACKing."""
+        session.finish()
+        self.count("sessions_expired")
+        self._remove(session)

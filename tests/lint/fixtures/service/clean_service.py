@@ -1,0 +1,21 @@
+"""RL001 negative cases: the service zone keeps its wall clock.
+
+Everything here would be flagged under ``sim/``; under ``service/`` the
+wall-clock and asyncio carve-out applies (randomness is still banned --
+see bad_service_random.py).
+"""
+
+import asyncio  # fine here: the service zone is asyncio's home
+import time  # fine here: wall-clock reads are the service's job
+
+
+async def paced_send(pacer):
+    loop = asyncio.get_running_loop()
+    started = loop.time()  # fine here: service sessions run on it
+    await asyncio.sleep(pacer.ipg)
+    return time.monotonic() - started
+
+
+def seeded_impairment(rng):
+    # Randomness still flows from repro.sim.rng streams, never ambient.
+    return rng.uniform(0.0, 0.02)

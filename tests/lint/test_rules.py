@@ -34,6 +34,30 @@ class TestRL001Determinism:
     def test_clean_seeded_code_passes(self):
         assert lint_fixture("sim", "good_seeded.py") == []
 
+    def test_asyncio_timers_banned_in_sim_zones(self):
+        violations = lint_fixture("sim", "bad_asyncio.py")
+        assert codes_and_lines(violations) == [
+            ("RL001", 9),   # import asyncio
+            ("RL001", 11),  # asyncio.get_event_loop()
+            ("RL001", 15),  # from asyncio import sleep
+            ("RL001", 21),  # loop.time()
+            ("RL001", 25),  # _loop.time()
+        ]
+
+    def test_service_zone_keeps_its_wall_clock(self):
+        # The same asyncio/time idioms that fail under sim/ are the
+        # service zone's whole point.
+        assert lint_fixture("service", "clean_service.py") == []
+
+    def test_service_zone_still_bans_entropy(self):
+        violations = lint_fixture("service", "bad_service_random.py")
+        assert codes_and_lines(violations) == [
+            ("RL001", 11),  # import random
+            ("RL001", 13),  # random.random()
+            ("RL001", 19),  # uuid.uuid4()
+            ("RL001", 23),  # list over a set comprehension
+        ]
+
     def test_scoped_to_simulation_dirs(self, tmp_path):
         # The same hazards outside sim/core/transport/media are ignored.
         outside = tmp_path / "tools" / "helper.py"

@@ -1,0 +1,91 @@
+"""The scripted loopback impairment shim."""
+
+import pytest
+
+from repro.service.impairment import Impairment, ImpairmentConfig
+from repro.sim.rng import make_rng
+
+
+class TestConfig:
+    def test_default_is_inactive(self):
+        assert not ImpairmentConfig().active
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loss_rate": 0.1}, {"delay": 0.05}, {"jitter": 0.01},
+        {"rate_limit": 1000.0},
+    ])
+    def test_any_knob_activates(self, kwargs):
+        assert ImpairmentConfig(**kwargs).active
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loss_rate": -0.1}, {"loss_rate": 1.0}, {"delay": -1.0},
+        {"jitter": -1.0}, {"rate_limit": 0.0}, {"bucket_depth": 0.0},
+        {"max_backlog": 0.0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ImpairmentConfig(**kwargs)
+
+
+class TestLoss:
+    def test_same_seed_same_pattern(self):
+        cfg = ImpairmentConfig(loss_rate=0.3)
+        outcomes = []
+        for _ in range(2):
+            shim = Impairment(cfg, make_rng(42))
+            outcomes.append(
+                [shim.admit(500, i * 0.01) is None for i in range(200)])
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+    def test_loss_rate_roughly_honored(self):
+        shim = Impairment(ImpairmentConfig(loss_rate=0.25), make_rng(1))
+        for i in range(2000):
+            shim.admit(500, i * 0.001)
+        assert shim.dropped_random == pytest.approx(500, rel=0.2)
+        assert shim.delivered == 2000 - shim.dropped_random
+
+
+class TestDelay:
+    def test_fixed_delay_plus_bounded_jitter(self):
+        cfg = ImpairmentConfig(delay=0.05, jitter=0.02)
+        shim = Impairment(cfg, make_rng(3))
+        delays = [shim.admit(500, i * 0.01) for i in range(100)]
+        assert all(0.05 <= d <= 0.07 for d in delays)
+        assert max(delays) > min(delays)  # jitter actually draws
+
+    def test_no_impairment_means_zero_delay(self):
+        shim = Impairment(ImpairmentConfig(), make_rng(0))
+        assert shim.admit(500, 0.0) == 0.0
+
+
+class TestTokenBucket:
+    def test_within_bucket_passes_untouched(self):
+        cfg = ImpairmentConfig(rate_limit=1000.0, bucket_depth=2000.0)
+        shim = Impairment(cfg, make_rng(0))
+        assert shim.admit(500, 0.0) == 0.0
+
+    def test_backlog_beyond_cap_tail_drops(self):
+        cfg = ImpairmentConfig(rate_limit=1000.0, bucket_depth=1000.0,
+                               max_backlog=0.5)
+        shim = Impairment(cfg, make_rng(0))
+        assert shim.admit(1000, 0.0) == 0.0   # drains the bucket
+        assert shim.admit(1000, 0.0) is None  # 1s backlog > 0.5s cap
+        assert shim.dropped_backlog == 1
+
+    def test_queueing_delay_tracks_the_backlog(self):
+        cfg = ImpairmentConfig(rate_limit=1000.0, bucket_depth=1000.0,
+                               max_backlog=5.0)
+        shim = Impairment(cfg, make_rng(0))
+        shim.admit(1000, 0.0)
+        delay = shim.admit(500, 0.0)  # 500B behind an empty bucket
+        assert delay == pytest.approx(0.5)
+
+    def test_bucket_refills_over_time(self):
+        cfg = ImpairmentConfig(rate_limit=1000.0, bucket_depth=1000.0,
+                               max_backlog=0.25)
+        shim = Impairment(cfg, make_rng(0))
+        shim.admit(1000, 0.0)
+        assert shim.admit(1000, 0.0) is None
+        # A second later the bucket holds 1000 fresh bytes again.
+        assert shim.admit(1000, 1.0) == 0.0
