@@ -2,10 +2,11 @@
 """repro-lint throughput benchmark: emits ``BENCH_lint.json``.
 
 The lint gate runs on every CI push, so its wall-clock cost is a budget,
-not a curiosity: the whole-program flow rules (RL005-RL012) parse every
-file, build the project symbol tables, and run the dataflow engine over
-every function — an accidental quadratic there would tax every commit.
-This script times four configurations over ``src/``:
+not a curiosity: the whole-program flow rules (RL005-RL016) parse every
+file, build the project symbol tables, the call graph, and the async
+graph, and run the dataflow engine over every function — an accidental
+quadratic there would tax every commit. This script times four
+configurations over ``src/``:
 
 - ``per_file``: RL001-RL004 only (the pre-dataflow cost floor);
 - ``full``: all rules including the whole-program flow analysis;
@@ -13,6 +14,10 @@ This script times four configurations over ``src/``:
   the cost of writing the index);
 - ``warm``: the same run again -- a full cache hit that replays stored
   findings without parsing a single file.
+
+A fifth section, ``profile``, breaks the full run down per rule and
+shared phase (``project:build``, ``project:asyncgraph``) so a budget
+regression names its culprit instead of just tripping the bound.
 
 The CI job fails if the quick full-tree run exceeds a hard wall-clock
 bound, keeping "lint the tree" an interactive-speed operation, and if
@@ -38,10 +43,11 @@ import tempfile
 import time
 
 from repro.lint.cli import lint_paths
+from repro.lint.profile import Profiler
 from repro.lint.rules import default_rules
 from repro.lint.rules.base import FlowRule
 
-SCHEMA = 2
+SCHEMA = 3
 
 #: Keys every report must carry, nested section by section. The CI smoke
 #: job fails when a produced report stops matching this shape.
@@ -53,6 +59,7 @@ REQUIRED_KEYS = {
     "cold": ("files", "violations", "seconds", "files_per_sec"),
     "warm": ("files", "violations", "seconds", "files_per_sec"),
     "speedup": None,
+    "profile": None,
 }
 
 _SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
@@ -106,6 +113,8 @@ def run_report(quick: bool, paths: list[str]) -> dict:
         if warm_best is None or warm["seconds"] < warm_best["seconds"]:
             warm_best = warm
     assert cold_best is not None and warm_best is not None
+    profiler = Profiler()
+    lint_paths(paths, rules=default_rules(), profiler=profiler)
     return {
         "schema": SCHEMA,
         "quick": quick,
@@ -114,6 +123,7 @@ def run_report(quick: bool, paths: list[str]) -> dict:
         "cold": cold_best,
         "warm": warm_best,
         "speedup": cold_best["seconds"] / warm_best["seconds"],
+        "profile": profiler.report_json(),
     }
 
 
@@ -160,6 +170,11 @@ def main(argv=None) -> int:
     print(f"cold cache     : {cold['seconds']:.3f}s  "
           f"warm cache: {warm['seconds']:.3f}s  "
           f"speedup {report['speedup']:.1f}x")
+    slowest = sorted(report["profile"].items(),
+                     key=lambda item: -item[1])[:3]
+    if slowest:
+        print("slowest rules  : " + "  ".join(
+            f"{label} {seconds:.3f}s" for label, seconds in slowest))
     print(f"wrote {target}")
     return 0
 

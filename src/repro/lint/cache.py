@@ -30,6 +30,11 @@ Three digest layers, mirroring the experiment runner's cache keying:
   closure changes the cone digest, which *is* the reverse-dependency
   invalidation: dependents of a changed module notice because their
   closures contain it.
+- ``async digest`` (per module) -- the cone digest widened to the
+  forward *union* reverse import closure. Async-graph facts flow both
+  ways (may-block comes from callees, loop contexts from spawners), so
+  rules with ``uses_async_facts = True`` (RL013-RL015) key their cached
+  findings on this digest and re-run over the wider async-dirty set.
 
 Findings of :class:`~repro.lint.rules.base.FlowRule` subclasses with
 ``cone_cacheable = False`` (RL010: a finding ties a submitter module to
@@ -56,7 +61,7 @@ from repro.lint.suppressions import Directive, Suppressions
 from repro.lint.violations import Violation
 
 #: Bump when the index layout changes; old indexes are discarded.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 #: Default cache location (gitignored alongside the experiment cache).
 DEFAULT_CACHE_DIR = ".repro-cache/lint"
@@ -117,6 +122,38 @@ def env_sha(file_sha: str, path: pathlib.Path) -> str:
     return _sha256(f"{file_sha}:{sibling_sha}".encode())
 
 
+def _closures(
+    graph: dict[str, set[str]]
+) -> dict[str, frozenset[str]]:
+    """Transitive closure (incl. self) of every node in ``graph``."""
+    memo: dict[str, frozenset[str]] = {}
+
+    def closure(name: str, trail: frozenset[str]) -> frozenset[str]:
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        if name in trail:  # import cycle: break, union handled by caller
+            return frozenset((name,))
+        acc = {name}
+        for dep in graph.get(name, ()):
+            acc |= closure(dep, trail | {name})
+        result = frozenset(acc)
+        if name not in trail:
+            memo[name] = result
+        return result
+
+    return {name: closure(name, frozenset()) for name in graph}
+
+
+def _member_digest(
+    members: frozenset[str], module_shas: dict[str, str]
+) -> str:
+    parts = sorted(
+        f"{member}:{module_shas.get(member, '')}" for member in members
+    )
+    return _sha256("\n".join(parts).encode())
+
+
 def cone_digests(
     import_graph: dict[str, set[str]], module_shas: dict[str, str]
 ) -> dict[str, str]:
@@ -126,30 +163,39 @@ def cone_digests(
     the fixed point of reverse-dependency invalidation, computed
     forward.
     """
-    closures: dict[str, frozenset[str]] = {}
+    forward = _closures(import_graph)
+    return {
+        name: _member_digest(forward[name], module_shas)
+        for name in import_graph
+    }
 
-    def closure(name: str, trail: frozenset[str]) -> frozenset[str]:
-        cached = closures.get(name)
-        if cached is not None:
-            return cached
-        if name in trail:  # import cycle: break, union handled by caller
-            return frozenset((name,))
-        acc = {name}
-        for dep in import_graph.get(name, ()):
-            acc |= closure(dep, trail | {name})
-        result = frozenset(acc)
-        if name not in trail:
-            closures[name] = result
-        return result
 
-    out: dict[str, str] = {}
-    for name in import_graph:
-        parts = sorted(
-            f"{member}:{module_shas.get(member, '')}"
-            for member in closure(name, frozenset())
-        )
-        out[name] = _sha256("\n".join(parts).encode())
-    return out
+def async_digests(
+    import_graph: dict[str, set[str]], module_shas: dict[str, str]
+) -> dict[str, str]:
+    """Per-module digest over the forward *union* reverse import closure.
+
+    Async facts flow in both directions: a coroutine's may-block verdict
+    depends on its callees (forward imports), but its loop contexts and
+    cross-task span pairings depend on who spawns or schedules it --
+    its importers. Editing a spawner must therefore re-analyze the
+    coroutine's module even though the coroutine's own import cone never
+    saw the change. Rules with ``uses_async_facts = True`` key their
+    cached findings on this digest instead of :func:`cone_digests`; it
+    covers a superset of the cone members, so the async-dirty set is
+    always a superset of the plain dirty cone.
+    """
+    reverse: dict[str, set[str]] = {name: set() for name in import_graph}
+    for name, deps in import_graph.items():
+        for dep in deps:
+            if dep in reverse:
+                reverse[dep].add(name)
+    forward = _closures(import_graph)
+    backward = _closures(reverse)
+    return {
+        name: _member_digest(forward[name] | backward[name], module_shas)
+        for name in import_graph
+    }
 
 
 # ------------------------------------------------------- (de)serialization

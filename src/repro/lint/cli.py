@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.lint import cache as _cache
+from repro.lint.profile import Profiler
 from repro.lint.rules import default_rules
 from repro.lint.rules.base import FileContext, FlowRule, Rule
 from repro.lint.suppressions import Directive, Suppressions
@@ -138,11 +139,14 @@ def _load_files(paths: Sequence[str]) -> list[FileEntry]:
 
 
 def _raw_violations(
-    entries: Sequence[FileEntry], rules: Sequence[Rule]
+    entries: Sequence[FileEntry],
+    rules: Sequence[Rule],
+    profiler: Optional[Profiler] = None,
 ) -> list[Violation]:
     """Every violation in the run, suppressions NOT yet applied."""
     from repro.lint.flow.project import Project
 
+    prof = profiler if profiler is not None else Profiler()
     per_file = [r for r in rules if not isinstance(r, FlowRule)]
     flow = [r for r in rules if isinstance(r, FlowRule)]
     found: list[Violation] = []
@@ -153,13 +157,21 @@ def _raw_violations(
         assert entry.ctx is not None
         for rule in per_file:
             if rule.applies_to(entry.ctx):
-                found.extend(rule.check(entry.ctx))
+                with prof.measure(rule.code):
+                    found.extend(rule.check(entry.ctx))
     if flow:
-        project = Project.build(
-            [entry.ctx for entry in entries if entry.ctx is not None]
-        )
+        with prof.measure("project:build"):
+            project = Project.build(
+                [entry.ctx for entry in entries if entry.ctx is not None]
+            )
+        if any(rule.uses_async_facts for rule in flow):
+            # Force the shared async graph under its own label so its
+            # construction cost does not land on the first async rule.
+            with prof.measure("project:asyncgraph"):
+                project.asyncgraph()
         for rule in flow:
-            found.extend(rule.check_project(project))
+            with prof.measure(rule.code):
+                found.extend(rule.check_project(project))
     return found
 
 
@@ -167,6 +179,7 @@ def _run_with_cache(
     paths: Sequence[str],
     rules: Sequence[Rule],
     store: _cache.LintCache,
+    profiler: Optional[Profiler] = None,
 ) -> tuple[list[FileEntry], list[Violation]]:
     """Cache-aware equivalent of ``_load_files`` + ``_raw_violations``.
 
@@ -176,11 +189,16 @@ def _run_with_cache(
     cached directives, and the stored raw findings are replayed. On a
     partial hit everything is re-parsed (flow rules need the whole
     project), but per-file rules re-run only where the environment
-    digest missed and cone-cacheable flow rules re-run only over dirty
-    import cones. Raw findings are cached pre-suppression; the caller
+    digest missed and cone-cacheable flow rules re-run only over their
+    dirty set: the dirty import cone for plain flow rules, the wider
+    async-dirty set (forward union reverse closure -- see
+    :func:`repro.lint.cache.async_digests`) for rules that consume the
+    async graph. Raw findings are cached pre-suppression; the caller
     applies suppressions exactly as on the uncached path.
     """
     from repro.lint.flow.project import Project
+
+    prof = profiler if profiler is not None else Profiler()
 
     files = iter_python_files(paths)
     ruleset_sha = _cache.ruleset_digest(rules)
@@ -235,6 +253,8 @@ def _run_with_cache(
                 raw.append(_cache.unpack_violation(row))
             for row in record.get("flow", []):
                 raw.append(_cache.unpack_violation(row))
+            for row in record.get("flow_async", []):
+                raw.append(_cache.unpack_violation(row))
         for row in (index.get("global") or {}).get("violations", []):
             raw.append(_cache.unpack_violation(row))
         return entries, raw
@@ -269,41 +289,57 @@ def _run_with_cache(
                 for row in record.get("per_file", [])
             ]
         else:
-            found = [
-                violation
-                for rule in per_file_rules
-                if rule.applies_to(entry.ctx)
-                for violation in rule.check(entry.ctx)
-            ]
+            found = []
+            for rule in per_file_rules:
+                if rule.applies_to(entry.ctx):
+                    with prof.measure(rule.code):
+                        found.extend(rule.check(entry.ctx))
         per_file_found[key] = found
         raw.extend(found)
 
     flow_found: dict[str, list[Violation]] = {
         str(entry.path): [] for entry in entries
     }
+    async_found: dict[str, list[Violation]] = {
+        str(entry.path): [] for entry in entries
+    }
     global_found: list[Violation] = []
     cones: dict[str, str] = {}
+    async_cones: dict[str, str] = {}
     module_of_path: dict[str, str] = {}
     if flow_rules:
-        project = Project.build(
-            [entry.ctx for entry in entries if entry.ctx is not None]
-        )
+        with prof.measure("project:build"):
+            project = Project.build(
+                [entry.ctx for entry in entries if entry.ctx is not None]
+            )
         module_shas: dict[str, str] = {}
         for name, info in project.modules.items():
             module_of_path[str(info.ctx.path)] = name
             module_shas[name] = shas[info.ctx.path]
-        cones = _cache.cone_digests(project.import_graph(), module_shas)
+        import_graph = project.import_graph()
+        cones = _cache.cone_digests(import_graph, module_shas)
+        async_cones = _cache.async_digests(import_graph, module_shas)
         key_of_display = {entry.display: str(entry.path) for entry in entries}
 
-        dirty: set[str] = set()
-        for name, info in project.modules.items():
-            record = cached_files.get(str(info.ctx.path))
-            if (
-                record is None
-                or record.get("cone_sha") != cones.get(name)
-                or record.get("display") != info.ctx.display_path
-            ):
-                dirty.add(name)
+        def _dirty_modules(
+            digests: dict[str, str], sha_key: str
+        ) -> set[str]:
+            out: set[str] = set()
+            for name, info in project.modules.items():
+                record = cached_files.get(str(info.ctx.path))
+                if (
+                    record is None
+                    or record.get(sha_key) != digests.get(name)
+                    or record.get("display") != info.ctx.display_path
+                ):
+                    out.add(name)
+            return out
+
+        dirty = _dirty_modules(cones, "cone_sha")
+        # Async facts also flow from importers (spawners, schedulers),
+        # so the async-dirty set uses the wider bidirectional digest.
+        # It is always a superset of ``dirty``.
+        dirty_async = _dirty_modules(async_cones, "async_sha") | dirty
         # Files the project dropped (duplicate module stems) have no
         # cone; any flow findings in them can never be replayed, so
         # nothing to do -- they simply stay out of the flow sections.
@@ -314,36 +350,74 @@ def _run_with_cache(
             and str(entry.path) not in module_of_path
         }
 
-        for rule in flow_rules:
-            if not rule.cone_cacheable:
-                # Findings cross import cones (RL010): always re-run,
-                # stored whole-project.
-                global_found.extend(rule.check_project(project))
-                continue
-            if dirty or shadowed:
-                only = frozenset(dirty) if not shadowed else None
-                for violation in rule.check_project(project, only=only):
+        will_run_async = any(
+            rule.uses_async_facts
+            and (not rule.cone_cacheable or dirty_async or shadowed)
+            for rule in flow_rules
+        )
+        if will_run_async:
+            # Same label discipline as the uncached path: the shared
+            # graph's cost must not land on the first async rule.
+            with prof.measure("project:asyncgraph"):
+                project.asyncgraph()
+
+        def _run_group(
+            group: list[FlowRule],
+            dirty_set: set[str],
+            found_map: dict[str, list[Violation]],
+            section: str,
+        ) -> None:
+            """Re-run ``group`` over ``dirty_set``, replay the rest.
+
+            Findings land in ``found_map`` keyed by resolved path;
+            clean modules get their cached ``section`` rows instead.
+            """
+            for rule in group:
+                if not (dirty_set or shadowed):
+                    continue
+                only = frozenset(dirty_set) if not shadowed else None
+                with prof.measure(rule.code):
+                    found = rule.check_project(project, only=only)
+                for violation in found:
                     key = key_of_display.get(violation.path)
                     if key is None:  # defensive: never drop a finding
                         global_found.append(violation)
                     elif only is None and module_of_path.get(
                         key
-                    ) not in dirty and key not in shadowed:
+                    ) not in dirty_set and key not in shadowed:
                         continue  # clean module: cached copy replays below
                     else:
-                        flow_found[key].append(violation)
-        for name, info in project.modules.items():
-            if name in dirty:
-                continue
-            record = cached_files.get(str(info.ctx.path))
-            if record is None:  # unreachable: clean implies cached
-                continue
-            flow_found[str(info.ctx.path)] = [
-                _cache.unpack_violation(row)
-                for row in record.get("flow", [])
-            ]
+                        found_map[key].append(violation)
+            for name, info in project.modules.items():
+                if name in dirty_set:
+                    continue
+                record = cached_files.get(str(info.ctx.path))
+                if record is None:  # unreachable: clean implies cached
+                    continue
+                found_map[str(info.ctx.path)] = [
+                    _cache.unpack_violation(row)
+                    for row in record.get(section, [])
+                ]
+
+        for rule in flow_rules:
+            if not rule.cone_cacheable:
+                # Findings cross import cones (RL010): always re-run,
+                # stored whole-project.
+                with prof.measure(rule.code):
+                    global_found.extend(rule.check_project(project))
+        _run_group(
+            [r for r in flow_rules
+             if r.cone_cacheable and not r.uses_async_facts],
+            dirty, flow_found, "flow",
+        )
+        _run_group(
+            [r for r in flow_rules
+             if r.cone_cacheable and r.uses_async_facts],
+            dirty_async, async_found, "flow_async",
+        )
         for entry in entries:
             raw.extend(flow_found[str(entry.path)])
+            raw.extend(async_found[str(entry.path)])
         raw.extend(global_found)
 
     files_payload: dict[str, Any] = {}
@@ -358,12 +432,16 @@ def _run_with_cache(
             "source_sha": shas[entry.path],
             "env_sha": env_shas[key],
             "cone_sha": cones.get(module_of_path.get(key, "")),
+            "async_sha": async_cones.get(module_of_path.get(key, "")),
             "directives": _cache.pack_directives(entry.suppressions),
             "syntax": syntax,
             "per_file": [
                 _cache.pack_violation(v) for v in per_file_found[key]
             ],
             "flow": [_cache.pack_violation(v) for v in flow_found[key]],
+            "flow_async": [
+                _cache.pack_violation(v) for v in async_found[key]
+            ],
         }
     store.store(
         ruleset_sha,
@@ -433,21 +511,23 @@ def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     cache_dir: Optional[pathlib.Path] = None,
+    profiler: Optional[Profiler] = None,
 ) -> tuple[list[Violation], int]:
     """Lint every Python file under ``paths``.
 
     Returns (violations sorted by location, number of files checked).
     With ``cache_dir`` the incremental cache is consulted and updated;
-    without it every file is analyzed from scratch.
+    without it every file is analyzed from scratch. ``profiler``
+    accumulates per-rule wall time when given.
     """
     active = tuple(rules) if rules is not None else default_rules()
     if cache_dir is not None:
         entries, raw = _run_with_cache(
-            paths, active, _cache.LintCache(cache_dir)
+            paths, active, _cache.LintCache(cache_dir), profiler
         )
     else:
         entries = _load_files(paths)
-        raw = _raw_violations(entries, active)
+        raw = _raw_violations(entries, active, profiler)
     return sorted(_apply_suppressions(raw, entries)), len(entries)
 
 
@@ -578,7 +658,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-lint",
         description=(
             "AST and dataflow invariant checker for the repro codebase "
-            "(rules RL001-RL012; see docs/LINTING.md)."
+            "(rules RL001-RL016; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -625,6 +705,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print every rule code with its rationale and exit",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-rule wall-time to stderr (and embed a "
+            "'profile' section in --format json reports)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="analyze every file from scratch, ignoring the cache",
@@ -654,15 +742,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         rules = default_rules()
 
+    profiler = Profiler() if options.profile else None
     try:
         if options.no_cache:
             entries = _load_files(options.paths)
-            raw = _raw_violations(entries, rules)
+            raw = _raw_violations(entries, rules, profiler)
         else:
             entries, raw = _run_with_cache(
                 options.paths,
                 rules,
                 _cache.LintCache(pathlib.Path(options.cache_dir)),
+                profiler,
             )
     except FileNotFoundError as exc:
         print(f"repro-lint: no such file or directory: {exc}", file=sys.stderr)
@@ -705,8 +795,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
 
+    if profiler is not None:
+        print(profiler.report_text(), file=sys.stderr)
+
     if options.format == "json":
         report = build_report(violations, files_checked)
+        if profiler is not None:
+            report["profile"] = profiler.report_json()
         if options.out is not None:
             # Stable-JSON conventions shared with the experiment
             # manifests: identical trees produce byte-identical reports.

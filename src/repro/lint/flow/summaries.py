@@ -36,7 +36,7 @@ from typing import Optional
 
 from repro.lint.flow.callgraph import CallGraph, CallResolver, FunctionNode
 from repro.lint.flow.project import Project
-from repro.lint.flow.symbols import TypeRef
+from repro.lint.flow.symbols import AnyFunctionDef, TypeRef
 
 #: Canonical RNG factory module and class (shared with RL005).
 RNG_MODULE = "repro.sim.rng"
@@ -173,7 +173,7 @@ class SummaryTable:
         return inferred
 
 
-def _own_statements(func: ast.FunctionDef) -> list[ast.stmt]:
+def _own_statements(func: AnyFunctionDef) -> list[ast.stmt]:
     """Statements of ``func``'s body, nested ``def`` bodies excluded."""
     out: list[ast.stmt] = []
     stack: list[ast.stmt] = list(func.body)

@@ -46,6 +46,10 @@ class TypeRef:
 
 ANY = TypeRef("any")
 
+#: Sync and async definitions share every field the analyses read; the
+#: tables record both and mark coroutines with ``is_async``.
+AnyFunctionDef = ast.FunctionDef | ast.AsyncFunctionDef
+
 
 @dataclass(frozen=True)
 class Param:
@@ -56,12 +60,13 @@ class Param:
 @dataclass
 class FunctionInfo:
     name: str
-    node: ast.FunctionDef
+    node: AnyFunctionDef
     params: list[Param]
     returns: Optional[ast.expr]
     is_property: bool = False
     is_staticmethod: bool = False
     is_classmethod: bool = False
+    is_async: bool = False
 
 
 @dataclass
@@ -101,7 +106,7 @@ class ModuleSymbols:
     assigns: dict[str, ast.expr] = field(default_factory=dict)
 
 
-def _decorator_names(node: ast.FunctionDef | ast.ClassDef) -> set[str]:
+def _decorator_names(node: AnyFunctionDef | ast.ClassDef) -> set[str]:
     names: set[str] = set()
     for deco in node.decorator_list:
         target = deco.func if isinstance(deco, ast.Call) else deco
@@ -112,7 +117,7 @@ def _decorator_names(node: ast.FunctionDef | ast.ClassDef) -> set[str]:
     return names
 
 
-def _function_info(node: ast.FunctionDef) -> FunctionInfo:
+def _function_info(node: AnyFunctionDef) -> FunctionInfo:
     decorators = _decorator_names(node)
     args = node.args
     params = [
@@ -127,6 +132,7 @@ def _function_info(node: ast.FunctionDef) -> FunctionInfo:
         is_property=("property" in decorators or "cached_property" in decorators),
         is_staticmethod="staticmethod" in decorators,
         is_classmethod="classmethod" in decorators,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
     )
 
 
@@ -174,7 +180,7 @@ def _class_info(node: ast.ClassDef, module: str) -> ClassInfo:
         if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
             info.body_fields[stmt.target.id] = stmt.annotation
             info.field_order.append(stmt.target.id)
-        elif isinstance(stmt, ast.FunctionDef):
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             info.methods[stmt.name] = _function_info(stmt)
     init = info.methods.get("__init__")
     if init is not None:
@@ -208,7 +214,7 @@ def _module_imports(tree: ast.Module) -> dict[str, str]:
 def build_module_symbols(name: str, tree: ast.Module) -> ModuleSymbols:
     symbols = ModuleSymbols(name=name, imports=_module_imports(tree))
     for stmt in tree.body:
-        if isinstance(stmt, ast.FunctionDef):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             symbols.functions[stmt.name] = _function_info(stmt)
         elif isinstance(stmt, ast.ClassDef):
             symbols.classes[stmt.name] = _class_info(stmt, name)

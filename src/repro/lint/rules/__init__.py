@@ -15,8 +15,15 @@ from repro.lint.rules.rl009_tolerances import ToleranceRule
 from repro.lint.rules.rl010_process import ProcessSafetyRule
 from repro.lint.rules.rl011_simtime import SimTimeRule
 from repro.lint.rules.rl012_numpy import NumpyDisciplineRule
+from repro.lint.rules.rl013_blocking import AsyncBlockingRule
+from repro.lint.rules.rl014_races import AsyncSharedStateRule
+from repro.lint.rules.rl015_taskhygiene import AsyncTaskHygieneRule
+from repro.lint.rules.rl016_typestate import SessionTypestateRule
 
 __all__ = [
+    "AsyncBlockingRule",
+    "AsyncSharedStateRule",
+    "AsyncTaskHygieneRule",
     "CacheKeyHygieneRule",
     "DeterminismRule",
     "DimensionRule",
@@ -28,6 +35,7 @@ __all__ = [
     "Rule",
     "SchedulerTiebreakRule",
     "SeedFlowRule",
+    "SessionTypestateRule",
     "SimTimeRule",
     "TelemetryCostRule",
     "ToleranceRule",
@@ -59,4 +67,8 @@ def default_rules() -> tuple[Rule, ...]:
         ProcessSafetyRule(),
         SimTimeRule(),
         NumpyDisciplineRule(),
+        AsyncBlockingRule(),
+        AsyncSharedStateRule(),
+        AsyncTaskHygieneRule(),
+        SessionTypestateRule(),
     )

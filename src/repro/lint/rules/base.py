@@ -91,6 +91,15 @@ class FlowRule(Rule):
     #: instead of per-module cones.
     cone_cacheable: ClassVar[bool] = True
 
+    #: Whether findings consume the async fact layer
+    #: (:meth:`repro.lint.flow.project.Project.asyncgraph`). Async facts
+    #: flow both ways along call edges (a spawner types its target's
+    #: context; a callee's blocking site surfaces at the caller), so the
+    #: cache keys these rules on the *bidirectional* import closure --
+    #: :func:`repro.lint.cache.async_digests` -- instead of the forward
+    #: cone alone.
+    uses_async_facts: ClassVar[bool] = False
+
     def applies_to(self, ctx: FileContext) -> bool:
         return False
 

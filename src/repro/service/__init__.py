@@ -37,6 +37,9 @@ Pieces:
 - :mod:`repro.service.results` -- folds fleet outcomes into the same
   :class:`~repro.scenario.result.ScenarioResult` shape simulated
   scenarios produce, rendered through the existing report path.
+- :mod:`repro.service.sanitizer` -- a runtime loop-stall monitor
+  (callback-lag histogram plus leaked-task census), the dynamic
+  complement of the RL013/RL015 static rules.
 - :mod:`repro.service.cli` -- the ``repro-serve`` / ``repro-load``
   console entry points.
 
@@ -48,14 +51,17 @@ seeded via :mod:`repro.sim.rng`.
 from repro.service.impairment import Impairment, ImpairmentConfig
 from repro.service.pacing import PacerActions, RapPacer
 from repro.service.results import fleet_result, render_fleet_report
+from repro.service.sanitizer import LoopSanitizer, SanitizerConfig
 from repro.service.server import ServiceConfig, StreamingService
 from repro.service.client import LoadFleet, LoadSessionResult
 
 __all__ = [
     "Impairment",
     "ImpairmentConfig",
+    "LoopSanitizer",
     "PacerActions",
     "RapPacer",
+    "SanitizerConfig",
     "ServiceConfig",
     "StreamingService",
     "LoadFleet",

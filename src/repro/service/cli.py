@@ -25,6 +25,7 @@ from repro.service.client import LoadFleet
 from repro.service.impairment import ImpairmentConfig
 from repro.service.results import (fleet_result, fleet_summary,
                                    percentile, render_fleet_report)
+from repro.service.sanitizer import LoopSanitizer
 from repro.service.server import ServiceConfig, StreamingService
 
 
@@ -88,8 +89,10 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _serve(args: argparse.Namespace) -> int:
+async def _serve(args: argparse.Namespace,
+                 started: list[StreamingService]) -> int:
     service = await StreamingService.start(_service_config(args))
+    started.append(service)
     if not args.quiet:
         print(f"repro-serve: listening on "
               f"{args.host}:{service.port}", flush=True)
@@ -102,7 +105,6 @@ async def _serve(args: argparse.Namespace) -> int:
         pass
     finally:
         await service.close()
-        _write_service_outputs(service, args)
     if not args.quiet:
         print(f"repro-serve: {service.counters}", flush=True)
     return 0
@@ -110,10 +112,16 @@ async def _serve(args: argparse.Namespace) -> int:
 
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_serve_parser().parse_args(argv)
+    # File writes happen here, after the loop has shut down: sync I/O
+    # in the coroutine would block the event loop (RL013).
+    started: list[StreamingService] = []
     try:
-        return asyncio.run(_serve(args))
+        status = asyncio.run(_serve(args, started))
     except KeyboardInterrupt:
-        return 0
+        status = 0
+    for service in started:
+        _write_service_outputs(service, args)
+    return status
 
 
 # ------------------------------------------------------------------- load
@@ -155,17 +163,31 @@ def _build_load_parser() -> argparse.ArgumentParser:
     parser.add_argument("--expect-zero-stalls", action="store_true",
                         help="exit non-zero if any session stalled "
                              "(CI gate for unimpaired links)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the event-loop stall sanitizer "
+                             "(lag histogram + leaked-task census)")
+    parser.add_argument("--max-lag-p99", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --sanitize: exit non-zero if the "
+                             "p99 callback lag exceeds this bound")
     parser.add_argument("--quiet", action="store_true")
     return parser
 
 
-async def _load(args: argparse.Namespace) -> int:
+async def _load(
+    args: argparse.Namespace,
+) -> tuple[int, str, dict, Optional[StreamingService]]:
     service: Optional[StreamingService] = None
     port = args.port
     if args.self_serve:
         service = await StreamingService.start(
             _service_config(args, port=0))
         port = service.port
+    sanitizer: Optional[LoopSanitizer] = None
+    if args.sanitize:
+        sanitizer = LoopSanitizer(
+            metrics=service.metrics if service is not None else None)
+        await sanitizer.start()
     try:
         fleet = LoadFleet(
             args.host, port,
@@ -184,7 +206,10 @@ async def _load(args: argparse.Namespace) -> int:
     finally:
         if service is not None:
             await service.close()
-            _write_service_outputs(service, args)
+        # Stop after close so leaked session tasks are visible to the
+        # census but the heartbeat itself never counts as a leak.
+        if sanitizer is not None:
+            await sanitizer.stop()
 
     scenario = fleet_result(results, args.duration)
     summary = fleet_summary(results, scenario)
@@ -196,15 +221,18 @@ async def _load(args: argparse.Namespace) -> int:
         leaked = [t for t in asyncio.all_tasks()
                   if t is not asyncio.current_task()]
         summary["leaked_tasks"] = len(leaked)
+    san_report: Optional[dict] = None
+    if sanitizer is not None:
+        san_report = sanitizer.report()
+        summary["lag_p50"] = san_report["lag_p50"]
+        summary["lag_p99"] = san_report["lag_p99"]
+        summary["lag_max"] = san_report["lag_max"]
+        summary["sanitizer_stalls"] = san_report["stalls"]
+        summary["sanitizer_leaked_tasks"] = san_report["leaked_tasks"]
     report = render_fleet_report(results, args.duration,
                                  scenario=scenario)
     if not args.quiet:
         print(report)
-    if args.out:
-        pathlib.Path(args.out).write_text(report)
-    if args.json:
-        pathlib.Path(args.json).write_text(
-            json.dumps(summary, sort_keys=True, indent=2) + "\n")
 
     status = 0
     if summary["failed"]:
@@ -219,15 +247,39 @@ async def _load(args: argparse.Namespace) -> int:
         print(f"repro-load: {summary['leaked_tasks']} tasks leaked "
               f"after shutdown", file=sys.stderr)
         status = 1
-    return status
+    if san_report is not None:
+        if (args.max_lag_p99 is not None
+                and san_report["lag_p99"] > args.max_lag_p99):
+            print(f"repro-load: loop lag p99 "
+                  f"{san_report['lag_p99'] * 1e3:.2f} ms exceeds "
+                  f"--max-lag-p99 {args.max_lag_p99 * 1e3:.2f} ms",
+                  file=sys.stderr)
+            status = 1
+        if san_report["leaked_tasks"]:
+            names = ", ".join(san_report["leaked_task_names"])
+            print(f"repro-load: sanitizer census found "
+                  f"{san_report['leaked_tasks']} leaked task(s): {names}",
+                  file=sys.stderr)
+            status = 1
+    return status, report, summary, service
 
 
 def load_main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_load_parser().parse_args(argv)
     try:
-        return asyncio.run(_load(args))
+        status, report, summary, service = asyncio.run(_load(args))
     except KeyboardInterrupt:
         return 1
+    # File writes happen here, after the loop has shut down: sync I/O
+    # in the coroutine would block the event loop (RL013).
+    if args.out:
+        pathlib.Path(args.out).write_text(report)
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(summary, sort_keys=True, indent=2) + "\n")
+    if service is not None:
+        _write_service_outputs(service, args)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -280,7 +280,8 @@ class LoadClient(asyncio.DatagramProtocol):
             assert isinstance(fin_ack, protocol.FinAckFrame)
             result.server_summary = fin_ack.summary
         finally:
-            self._closed = True
+            # Last-writer-wins flag handoff; both writers set True.
+            self._closed = True  # repro-lint: disable=RL014
             if self.transport is not None:
                 self.transport.close()
             result.bytes_received = self.bytes_received

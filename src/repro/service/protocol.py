@@ -111,13 +111,16 @@ Frame = Union[
 
 
 def _json_body(payload: dict) -> bytes:
-    return json.dumps(
+    # Control frames only (HELLO/WELCOME/FIN): DATA and ACK use struct.
+    # The hot-path reachability heuristic cannot see frame-type dispatch.
+    return json.dumps(  # repro-lint: disable=RL013
         payload, sort_keys=True, separators=_JSON_SEPARATORS).encode()
 
 
 def _parse_json(body: bytes, what: str) -> dict:
     try:
-        out = json.loads(body.decode())
+        # Control frames only; DATA/ACK decode goes through struct.
+        out = json.loads(body.decode())  # repro-lint: disable=RL013
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"bad {what} body: {exc}") from exc
     if not isinstance(out, dict):

@@ -1,0 +1,158 @@
+"""Event-loop stall sanitizer: the runtime complement of RL013/RL015.
+
+The static rules prove the *absence* of known blocking patterns; this
+module measures the loop itself while the service runs, so a blocking
+call the analyzer cannot see (a C extension, a pathological allocation,
+an accidental quadratic in a callback) still shows up in CI.
+
+Two measurements:
+
+- **Callback lag.** A heartbeat coroutine asks to sleep for
+  ``interval`` seconds and records how much *later* than the deadline
+  it actually woke.  On an idle loop that overshoot is microseconds;
+  anything above ``stall_threshold`` means some callback held the loop
+  longer than a pacing quantum and every session's send timing slipped
+  with it.  Samples feed a histogram (p50/p99/max in :meth:`report`).
+- **Task census.**  The set of live tasks is recorded at
+  :meth:`start`; whatever is still alive at :meth:`stop` beyond that
+  baseline (and is not the heartbeat itself) is a leak -- the runtime
+  shadow of RL015's dropped-spawn finding.
+
+The sanitizer deliberately measures from *inside* the loop under test:
+a separate thread would need locking and would time the OS scheduler,
+not the loop.  Overhead is one timer callback per ``interval`` (20 Hz
+by default), far below the per-session send timers it rides alongside.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.results import percentile
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Histogram bounds for loop lag, seconds.  The interesting range is
+#: sub-millisecond (healthy) through tens of milliseconds (a stall a
+#: human can see in playback); one decade per bucket pair.
+LAG_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.010,
+               0.025, 0.050, 0.100, 0.250)
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """Knobs for :class:`LoopSanitizer`.
+
+    ``interval`` is the heartbeat period: lag is sampled this often,
+    so a stall shorter than one interval can hide between beats --
+    50 ms catches anything long enough to disturb pacing.
+    ``stall_threshold`` is the lag above which a sample counts as a
+    stall; 10 ms is one pacing quantum at the default rates.
+    """
+
+    interval: float = 0.05
+    stall_threshold: float = 0.010
+
+
+class LoopSanitizer:
+    """Samples event-loop callback lag and censuses leaked tasks.
+
+    Usage::
+
+        sanitizer = LoopSanitizer()
+        await sanitizer.start()
+        ... run the workload on this loop ...
+        await sanitizer.stop()
+        summary = sanitizer.report()
+
+    With a :class:`~repro.telemetry.metrics.MetricsRegistry` the lag
+    histogram, stall counter and leak gauge are exported alongside the
+    service's own metrics.
+    """
+
+    def __init__(self, config: Optional[SanitizerConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.config = config or SanitizerConfig()
+        self.lag_samples: list[float] = []
+        self.stalls = 0
+        self.leaked_task_names: list[str] = []
+        self._task: Optional[asyncio.Task] = None
+        self._baseline: set[asyncio.Task] = set()
+        self._lag_hist = (
+            metrics.histogram_hook(
+                "service_loop_lag_seconds",
+                "event-loop callback lag sampled by the sanitizer",
+                buckets=LAG_BUCKETS)
+            if metrics is not None else None)
+        self._stall_count = (
+            metrics.counter_hook(
+                "service_loop_stalls_total",
+                "lag samples above the stall threshold")
+            if metrics is not None else None)
+        self._leak_gauge = (
+            metrics.gauge_hook(
+                "service_leaked_tasks",
+                "tasks alive at stop() beyond the start() baseline")
+            if metrics is not None else None)
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Record the task baseline and begin heartbeating."""
+        if self._task is not None:
+            return
+        self._baseline = set(asyncio.all_tasks())
+        self._task = asyncio.get_running_loop().create_task(
+            self._heartbeat(), name="loop-sanitizer")
+
+    async def stop(self) -> None:
+        """Cancel the heartbeat and census tasks that outlived start()."""
+        task = self._task
+        if task is None:
+            return
+        self._task = None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        current = asyncio.current_task()
+        leaked = [
+            t for t in asyncio.all_tasks()
+            if t is not task and t is not current
+            and t not in self._baseline and not t.done()
+        ]
+        self.leaked_task_names = sorted(t.get_name() for t in leaked)
+        if self._leak_gauge is not None:
+            self._leak_gauge(float(len(leaked)))
+
+    async def _heartbeat(self) -> None:
+        loop = asyncio.get_running_loop()
+        interval = self.config.interval
+        threshold = self.config.stall_threshold
+        while True:
+            deadline = loop.time() + interval
+            await asyncio.sleep(interval)
+            lag = max(0.0, loop.time() - deadline)
+            self.lag_samples.append(lag)
+            if self._lag_hist is not None:
+                self._lag_hist(lag)
+            if lag > threshold:
+                self.stalls += 1
+                if self._stall_count is not None:
+                    self._stall_count(1.0)
+
+    # -------------------------------------------------------------- report
+
+    def report(self) -> dict:
+        """Lag percentiles, stall count and leak census as plain data."""
+        return {
+            "lag_samples": len(self.lag_samples),
+            "lag_p50": percentile(self.lag_samples, 50.0),
+            "lag_p99": percentile(self.lag_samples, 99.0),
+            "lag_max": max(self.lag_samples, default=0.0),
+            "stalls": self.stalls,
+            "leaked_tasks": len(self.leaked_task_names),
+            "leaked_task_names": self.leaked_task_names,
+        }

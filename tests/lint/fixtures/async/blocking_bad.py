@@ -1,0 +1,45 @@
+# RL013 targets: blocking work on the event loop, plus the sanctioned
+# escape hatches that must stay silent.
+import asyncio
+import json
+import subprocess
+import time
+
+
+async def sleepy():
+    time.sleep(0.1)  # direct blocking site in a coroutine
+    await asyncio.sleep(0)
+
+
+def _helper():
+    subprocess.run(["true"])  # blocking, but _helper is sync: silent here
+
+
+async def delegating():
+    _helper()  # call into a may-block sync helper: flagged at call site
+    await asyncio.sleep(0)
+
+
+async def spinner():
+    while True:  # unbounded CPU loop with no await: starves the loop
+        pass
+
+
+async def sanctioned():
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, time.sleep, 0.1)  # exempt
+    await asyncio.to_thread(_helper)  # exempt
+
+
+class PacketProto(asyncio.DatagramProtocol):
+    def datagram_received(self, data, addr):
+        _decode(data)
+
+
+def _decode(data):
+    return json.loads(data.decode())  # JSON on the per-packet path
+
+
+def offline_decode(data):
+    # Same codec, but nothing reaches it from a packet callback: silent.
+    return json.loads(data.decode())

@@ -1,0 +1,45 @@
+# RL015 targets: spawned-task ownership failures and un-awaited
+# coroutine calls, plus the retained/cancelled shapes that stay silent.
+import asyncio
+
+
+async def worker():
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget():
+    asyncio.create_task(worker())  # dropped: weak ref only
+
+
+async def discards():
+    handle = asyncio.create_task(worker())  # bound but never read
+    await asyncio.sleep(0)
+
+
+async def never_scheduled():
+    worker()  # coroutine object created and immediately dropped
+
+
+class LeakyOwner:
+    def __init__(self):
+        self._task = None
+
+    def start(self):
+        self._task = asyncio.create_task(worker())  # no cancel anywhere
+
+
+class CleanOwner:
+    def __init__(self):
+        self._task = None
+
+    def start(self):
+        self._task = asyncio.create_task(worker())  # cancelled in stop()
+
+    def stop(self):
+        if self._task is not None:
+            self._task.cancel()
+
+
+async def awaited():
+    handle = asyncio.create_task(worker())  # awaited below: retained
+    await handle

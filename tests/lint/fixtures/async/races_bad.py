@@ -1,0 +1,60 @@
+# RL014 targets: shared attributes written across an await, plus the
+# atomic / guarded / unshared shapes that must stay silent.
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+        self.safe = 0
+        self.private = 0
+        self._lock = asyncio.Lock()
+
+    async def bump_unsafe(self):
+        before = self.total
+        await asyncio.sleep(0)
+        self.total = before + 1  # read .. await .. write: lost update
+
+    async def bump_atomic(self):
+        await asyncio.sleep(0)
+        self.total += 1  # single-statement update: atomic, silent
+
+    async def bump_guarded(self):
+        async with self._lock:
+            before = self.safe
+            await asyncio.sleep(0)
+            self.safe = before + 1  # same span, but lock-guarded: silent
+
+    async def bump_private(self):
+        before = self.private
+        await asyncio.sleep(0)
+        self.private = before + 1  # spans, but single-context: silent
+
+
+class Runner:
+    def __init__(self):
+        self._task = None
+        self._guard_task = None
+
+    def start(self, counter: Counter):
+        self._task = asyncio.create_task(counter.bump_unsafe())
+        self._guard_task = asyncio.create_task(counter.bump_guarded())
+
+    def stop(self):
+        if self._task is not None:
+            self._task.cancel()
+        if self._guard_task is not None:
+            self._guard_task.cancel()
+
+
+async def main():
+    counter = Counter()
+    runner = Runner()
+    runner.start(counter)
+    await counter.bump_atomic()
+    print(counter.total)
+    runner.stop()
+
+
+def entry():
+    asyncio.run(main())

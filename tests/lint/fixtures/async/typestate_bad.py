@@ -1,0 +1,70 @@
+# RL016 targets: transport reads and driver calls after teardown, and
+# a replayed-but-never-recorded tape; the before-teardown and rebind
+# shapes must stay silent.
+
+
+class FakePacer:
+    def __init__(self):
+        self._rate = 1.0
+        self._srtt = 0.1
+
+    @property
+    def rate(self):
+        return self._rate
+
+    @property
+    def slope(self):
+        return self._srtt
+
+    def finish(self):
+        self._rate = 0.0
+
+
+class FakeCore:
+    def __init__(self, pacer):
+        self.pacer = pacer
+
+    def tick(self):
+        pass
+
+    def finish(self):
+        pass
+
+    @classmethod
+    def replay(cls, tape):
+        return cls(FakePacer())
+
+
+class SessionTape:
+    def __init__(self):
+        self.calls = []
+
+
+def summarize(pacer: FakePacer):
+    return {"rate": pacer.rate, "slope": pacer.slope}
+
+
+def bad_teardown(core: FakeCore, pacer: FakePacer):
+    core.finish()
+    pacer.finish()
+    core.tick()  # driver call on a torn-down session
+    rate = pacer.rate  # transport read on a frozen controller
+    return summarize(pacer), rate  # dead name into a transport reader
+
+
+def good_teardown(core: FakeCore, pacer: FakePacer):
+    summary = summarize(pacer)  # reads happen while the session is live
+    pacer.finish()
+    core.finish()
+    return summary
+
+
+def rebind_resurrects(pacer: FakePacer):
+    pacer.finish()
+    pacer = FakePacer()
+    return pacer.rate  # fresh object: silent
+
+
+def vacuous_replay():
+    tape = SessionTape()  # never recorded into
+    return FakeCore.replay(tape)

@@ -1,0 +1,137 @@
+"""RL013-RL016 fixture tests: exact file:line:col pins per rule.
+
+Each rule runs alone over tests/lint/fixtures/async and must produce
+precisely the findings designed into its fixture -- no more, no fewer.
+The *_SILENT sets name the decoy lines that look like violations but
+carry a sanctioned shape; asserting disjointness keeps a regression
+from trading a true positive for a false one unnoticed.
+"""
+
+import pathlib
+
+from repro.lint.cli import lint_paths
+from repro.lint.rules.rl013_blocking import AsyncBlockingRule
+from repro.lint.rules.rl014_races import AsyncSharedStateRule
+from repro.lint.rules.rl015_taskhygiene import AsyncTaskHygieneRule
+from repro.lint.rules.rl016_typestate import SessionTypestateRule
+
+ASYNC_FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "async"
+
+
+def locations(rule):
+    violations, _ = lint_paths([str(ASYNC_FIXTURES)], rules=[rule])
+    assert all(v.code == rule.code for v in violations)
+    return [
+        (pathlib.Path(v.path).name, v.line, v.col) for v in violations
+    ], violations
+
+
+def lines_in(violations, name):
+    return {v.line for v in violations if pathlib.Path(v.path).name == name}
+
+
+class TestRL013Blocking:
+    EXPECTED = [
+        ("blocking_bad.py", 10, 4),
+        ("blocking_bad.py", 19, 4),
+        ("blocking_bad.py", 24, 4),
+        ("blocking_bad.py", 40, 11),
+    ]
+    SILENT = {15, 30, 31, 45}
+
+    def test_exact_findings(self):
+        found, _ = locations(AsyncBlockingRule())
+        assert sorted(found) == self.EXPECTED
+
+    def test_sanctioned_shapes_stay_silent(self):
+        _, violations = locations(AsyncBlockingRule())
+        assert lines_in(violations, "blocking_bad.py").isdisjoint(self.SILENT)
+
+    def test_messages_name_the_mechanism(self):
+        _, violations = locations(AsyncBlockingRule())
+        by_line = {v.line: v.message for v in violations}
+        assert "time.sleep" in by_line[10]
+        assert "_helper" in by_line[19]  # witness chain through the helper
+        assert "unbounded loop" in by_line[24]
+        assert "packet" in by_line[40]  # hot-path JSON variant
+
+
+class TestRL014Races:
+    EXPECTED = [("races_bad.py", 16, 8)]
+    SILENT = {20, 26, 31}
+
+    def test_exact_findings(self):
+        found, _ = locations(AsyncSharedStateRule())
+        assert sorted(found) == self.EXPECTED
+
+    def test_atomic_guarded_and_private_stay_silent(self):
+        _, violations = locations(AsyncSharedStateRule())
+        assert lines_in(violations, "races_bad.py").isdisjoint(self.SILENT)
+
+    def test_message_counts_contexts(self):
+        _, violations = locations(AsyncSharedStateRule())
+        message = violations[0].message
+        assert "Counter.total" in message
+        assert "bump_unsafe" in message
+        assert "2 task contexts" in message
+
+
+class TestRL015TaskHygiene:
+    EXPECTED = [
+        ("hygiene_bad.py", 11, 4),
+        ("hygiene_bad.py", 15, 13),
+        ("hygiene_bad.py", 20, 4),
+        ("hygiene_bad.py", 28, 21),
+    ]
+    SILENT = {36, 44}
+
+    def test_exact_findings(self):
+        found, _ = locations(AsyncTaskHygieneRule())
+        assert sorted(found) == self.EXPECTED
+
+    def test_owned_and_awaited_tasks_stay_silent(self):
+        _, violations = locations(AsyncTaskHygieneRule())
+        assert lines_in(violations, "hygiene_bad.py").isdisjoint(self.SILENT)
+
+    def test_messages_distinguish_failure_modes(self):
+        _, violations = locations(AsyncTaskHygieneRule())
+        by_line = {v.line: v.message for v in violations}
+        assert "garbage-collect" in by_line[11]  # dropped handle
+        assert "never" in by_line[15].lower()  # discarded handle
+        assert "await" in by_line[20].lower()  # un-awaited coroutine
+        assert "cancel" in by_line[28].lower()  # stored, no teardown
+
+
+class TestRL016Typestate:
+    EXPECTED = [
+        ("typestate_bad.py", 50, 4),
+        ("typestate_bad.py", 51, 11),
+        ("typestate_bad.py", 52, 11),
+        ("typestate_bad.py", 69, 11),
+    ]
+    SILENT = {56, 65, 70}
+
+    def test_exact_findings(self):
+        found, _ = locations(SessionTypestateRule())
+        assert sorted(found) == self.EXPECTED
+
+    def test_live_reads_and_rebinds_stay_silent(self):
+        _, violations = locations(SessionTypestateRule())
+        assert lines_in(violations, "typestate_bad.py").isdisjoint(self.SILENT)
+
+    def test_messages_name_the_lifecycle_edge(self):
+        _, violations = locations(SessionTypestateRule())
+        by_line = {v.line: v.message for v in violations}
+        assert "tick" in by_line[50]
+        assert "rate" in by_line[51]
+        assert "finish" in by_line[52]
+        assert "replay" in by_line[69]
+
+
+class TestFixturesSelfDescribe:
+    def test_every_fixture_claims_its_rule(self):
+        # Each fixture's header comment names the rule it exercises, so
+        # a stray fixture cannot silently contribute findings untested.
+        for path in sorted(ASYNC_FIXTURES.glob("*.py")):
+            header = path.read_text().splitlines()[0]
+            assert header.startswith("# RL01"), path.name

@@ -1,0 +1,312 @@
+"""AsyncGraph unit tests: the substrate under RL013-RL015.
+
+Covers the fact layers one at a time -- coroutine/loop classification,
+may-block propagation with witness chains, spawn ownership, context
+construction, receiver typing, and the await-span scanner -- so a rule
+regression can be localized to the layer that drifted.
+"""
+
+import ast
+
+from repro.lint.flow.asyncgraph import AsyncGraph, ReceiverTyper
+from repro.lint.flow.project import Project
+from repro.lint.rules.base import FileContext
+
+
+def project_of(tmp_path, sources):
+    contexts = []
+    for name, source in sources.items():
+        path = tmp_path / f"{name}.py"
+        path.write_text(source)
+        contexts.append(
+            FileContext(
+                path=path.resolve(),
+                display_path=str(path),
+                source=source,
+                tree=ast.parse(source),
+            )
+        )
+    return Project.build(contexts)
+
+
+def graph_of(tmp_path, sources) -> AsyncGraph:
+    return project_of(tmp_path, sources).asyncgraph()
+
+
+class TestLoopClassification:
+    def test_coroutines_are_on_loop(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "async def coro():\n"
+            "    await asyncio.sleep(0)\n"
+            "def plain():\n"
+            "    return 1\n"
+        )})
+        assert graph.functions["m.coro"].is_coroutine
+        assert graph.functions["m.coro"].on_loop
+        assert not graph.functions["m.plain"].on_loop
+
+    def test_protocol_callbacks_are_on_loop(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "class Proto(asyncio.DatagramProtocol):\n"
+            "    def datagram_received(self, data, addr):\n"
+            "        pass\n"
+            "    def helper(self):\n"
+            "        pass\n"
+            "class NotAProto:\n"
+            "    def datagram_received(self, data, addr):\n"
+            "        pass\n"
+        )})
+        facts = graph.functions["m.Proto.datagram_received"]
+        assert facts.on_loop and facts.packet_callback
+        assert not graph.functions["m.Proto.helper"].on_loop
+        assert not graph.functions["m.NotAProto.datagram_received"].on_loop
+
+    def test_scheduled_callbacks_are_on_loop(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "def tick():\n"
+            "    pass\n"
+            "def arm():\n"
+            "    loop = asyncio.get_event_loop()\n"
+            "    loop.call_later(0.1, tick)\n"
+        )})
+        assert graph.functions["m.tick"].on_loop
+        assert not graph.functions["m.arm"].on_loop
+
+
+class TestMayBlockPropagation:
+    def test_witness_chain_reaches_the_leaf(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import time\n"
+            "def leaf():\n"
+            "    time.sleep(1)\n"
+            "def mid():\n"
+            "    leaf()\n"
+            "def top():\n"
+            "    mid()\n"
+        )})
+        verdict = graph.functions["m.top"].may_block
+        assert verdict is not None
+        assert verdict.what == "time.sleep"
+        assert "mid" in verdict.describe()
+
+    def test_executor_handoff_is_exempt(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "import time\n"
+            "async def ok():\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, time.sleep, 1)\n"
+        )})
+        assert graph.functions["m.ok"].blocking == []
+        assert graph.functions["m.ok"].may_block is None
+
+    def test_cpu_loop_with_await_is_fine(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "async def pump():\n"
+            "    while True:\n"
+            "        await asyncio.sleep(0)\n"
+            "async def spin():\n"
+            "    while True:\n"
+            "        pass\n"
+        )})
+        assert graph.functions["m.pump"].blocking == []
+        spins = graph.functions["m.spin"].blocking
+        assert [site.what for site in spins] == ["unbounded loop"]
+
+
+class TestSpawnOwnership:
+    SOURCE = (
+        "import asyncio\n"
+        "async def work():\n"
+        "    await asyncio.sleep(0)\n"
+        "async def dropper():\n"
+        "    asyncio.create_task(work())\n"
+        "async def discarder():\n"
+        "    t = asyncio.create_task(work())\n"
+        "    await asyncio.sleep(0)\n"
+        "async def keeper():\n"
+        "    t = asyncio.create_task(work())\n"
+        "    await t\n"
+        "class Owner:\n"
+        "    def start(self):\n"
+        "        self._t = asyncio.create_task(work())\n"
+        "    def stop(self):\n"
+        "        self._t.cancel()\n"
+    )
+
+    def test_ownership_classes(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": self.SOURCE})
+        by_spawner = {
+            s.spawner.rsplit(".", 1)[-1]: s for s in graph.spawns
+        }
+        assert by_spawner["dropper"].ownership == "dropped"
+        assert by_spawner["discarder"].ownership == "discarded"
+        assert by_spawner["keeper"].ownership == "retained"
+        stored = by_spawner["start"]
+        assert stored.ownership == "stored"
+        assert stored.stored_attr == ("m.Owner", "_t")
+        assert stored.cancelled  # Owner.stop() cancels
+
+    def test_spawn_targets_resolve(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": self.SOURCE})
+        assert {s.target for s in graph.spawns} == {"m.work"}
+
+
+class TestContexts:
+    def test_each_spawn_target_roots_a_context(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "async def a():\n"
+            "    await asyncio.sleep(0)\n"
+            "async def b():\n"
+            "    await a()\n"
+            "async def main():\n"
+            "    t1 = asyncio.create_task(a())\n"
+            "    t2 = asyncio.create_task(b())\n"
+            "    await t1\n"
+            "    await t2\n"
+            "def entry():\n"
+            "    asyncio.run(main())\n"
+        )})
+        assert "m.a" in graph.contexts
+        assert "m.b" in graph.contexts
+        assert "m.main" in graph.contexts  # asyncio.run root
+        # b's context includes what b awaits.
+        assert "m.a" in graph.contexts["m.b"]
+
+    def test_loop_context_excludes_unspawned_coroutines(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "async def coro():\n"
+            "    await asyncio.sleep(0)\n"
+            "class Proto(asyncio.DatagramProtocol):\n"
+            "    def datagram_received(self, data, addr):\n"
+            "        asyncio.create_task(coro())\n"
+        )})
+        loop_members = graph.contexts["loop"]
+        assert "m.Proto.datagram_received" in loop_members
+        # The callback *creates* coro; it does not run inside it.
+        assert "m.coro" not in loop_members
+
+
+class TestReceiverTyper:
+    def test_constructed_local_and_annotated_param(self, tmp_path):
+        project = project_of(tmp_path, {"m": (
+            "class Box:\n"
+            "    def poke(self):\n"
+            "        pass\n"
+            "def use_local():\n"
+            "    b = Box()\n"
+            "    b.poke()\n"
+            "def use_param(b: Box):\n"
+            "    b.poke()\n"
+        )})
+        graph = project.call_graph()
+        for fn in ("m.use_local", "m.use_param"):
+            typer = ReceiverTyper(project, graph.nodes[fn])
+            call = next(
+                n for n in ast.walk(graph.nodes[fn].func.node)
+                if isinstance(n, ast.Call)
+                and not isinstance(n.func, ast.Name)
+            )
+            owner = typer.class_of(call.func.value)
+            assert owner is not None and owner.qualname == "m.Box"
+
+    def test_conflicting_assignments_stay_untyped(self, tmp_path):
+        project = project_of(tmp_path, {"m": (
+            "class A:\n"
+            "    def poke(self):\n"
+            "        pass\n"
+            "class B:\n"
+            "    def poke(self):\n"
+            "        pass\n"
+            "def ambiguous(flag):\n"
+            "    x = A()\n"
+            "    if flag:\n"
+            "        x = B()\n"
+            "    x.poke()\n"
+        )})
+        graph = project.call_graph()
+        typer = ReceiverTyper(project, graph.nodes["m.ambiguous"])
+        name = ast.parse("x").body[0].value
+        assert typer.class_of(name) is None
+
+
+class TestSpanScanner:
+    def test_read_await_write_spans(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "class C:\n"
+            "    async def racy(self):\n"
+            "        before = self.n\n"
+            "        await asyncio.sleep(0)\n"
+            "        self.n = before + 1\n"
+        )})
+        spans = graph.spans["m.C.racy"]
+        assert [(s.owner, s.attr) for s in spans] == [("m.C", "n")]
+
+    def test_single_statement_update_is_atomic(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "class C:\n"
+            "    async def fine(self):\n"
+            "        await asyncio.sleep(0)\n"
+            "        self.n += 1\n"
+        )})
+        assert graph.spans["m.C.fine"] == []
+
+    def test_loop_unrolling_pairs_iterations(self, tmp_path):
+        # The read in iteration N pairs with the write in iteration N+1;
+        # a single pass over the body would see write-before-read and
+        # find nothing.
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "class C:\n"
+            "    async def pump(self):\n"
+            "        while True:\n"
+            "            await asyncio.sleep(0)\n"
+            "            self.buf = []\n"
+            "            items = self.buf\n"
+        )})
+        spans = graph.spans["m.C.pump"]
+        assert [(s.owner, s.attr) for s in spans] == [("m.C", "buf")]
+
+    def test_same_statement_across_iterations_is_exempt(self, tmp_path):
+        # One self-contained write per iteration re-pairs only with its
+        # own statement under unrolling, which the pairer discards.
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "class C:\n"
+            "    async def pump(self):\n"
+            "        while True:\n"
+            "            self.buf = []\n"
+            "            await asyncio.sleep(0)\n"
+        )})
+        assert graph.spans["m.C.pump"] == []
+
+    def test_lock_guard_suppresses_events(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "import asyncio\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = asyncio.Lock()\n"
+            "    async def guarded(self):\n"
+            "        async with self._lock:\n"
+            "            before = self.n\n"
+            "            await asyncio.sleep(0)\n"
+            "            self.n = before + 1\n"
+        )})
+        assert graph.spans["m.C.guarded"] == []
+        assert ("m.C", "n") in graph.guarded_keys()
+
+    def test_init_accesses_are_construction_handoff(self, tmp_path):
+        graph = graph_of(tmp_path, {"m": (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+        )})
+        assert graph.functions["m.C.__init__"].accesses == []

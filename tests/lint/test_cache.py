@@ -224,3 +224,159 @@ class TestIndexIntegrity:
         assert [row[3] for row in record["per_file"]] == []
         assert [row[3] for row in record["flow"]] == ["RL012"]
         assert record["directives"] == [[2, "RL012", False]]
+
+
+class TestAsyncConeInvalidation:
+    """The async digest layer: forward *union reverse* import closure.
+
+    RL013-RL015 findings in a coroutine module can depend on who spawns
+    it -- context membership is a property of the *importer*. A plain
+    forward cone never re-analyzes the coroutine module when only the
+    spawner changed, so async-facts rules carry their own digest.
+    """
+
+    WORK = (
+        "import asyncio\n"
+        "\n"
+        "\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self.total = 0\n"
+        "\n"
+        "    async def bump(self):\n"
+        "        before = self.total\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.total = before + 1\n"
+    )
+    RUNNER_AWAITS = (
+        "import asyncio\n"
+        "\n"
+        "from work import Counter\n"
+        "\n"
+        "\n"
+        "async def main():\n"
+        "    counter = Counter()\n"
+        "    await counter.bump()\n"
+        "    print(counter.total)\n"
+        "\n"
+        "\n"
+        "def entry():\n"
+        "    asyncio.run(main())\n"
+    )
+    RUNNER_SPAWNS = (
+        "import asyncio\n"
+        "\n"
+        "from work import Counter\n"
+        "\n"
+        "\n"
+        "async def main():\n"
+        "    counter = Counter()\n"
+        "    task = asyncio.create_task(counter.bump())\n"
+        "    print(counter.total)\n"
+        "    await task\n"
+        "\n"
+        "\n"
+        "def entry():\n"
+        "    asyncio.run(main())\n"
+    )
+
+    def test_reverse_closure_digest_property(self):
+        from repro.lint.cache import async_digests, cone_digests
+
+        graph = {"work": set(), "runner": {"work"}}
+        before = {"work": "sha-w", "runner": "sha-r"}
+        after = {"work": "sha-w", "runner": "sha-r2"}  # runner edited
+        assert (
+            cone_digests(graph, before)["work"]
+            == cone_digests(graph, after)["work"]
+        )
+        assert (
+            async_digests(graph, before)["work"]
+            != async_digests(graph, after)["work"]
+        )
+
+    def test_spawner_edit_reanalyzes_coroutine_module(self, proj, cache_dir):
+        (proj / "work.py").write_text(self.WORK)
+        runner = proj / "runner.py"
+        runner.write_text(self.RUNNER_AWAITS)
+        clean, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert clean == []  # one context: await runs bump inline
+
+        # work.py is untouched and its forward cone is unchanged, but
+        # the spawner now runs bump() in a second task context: the
+        # race must surface in work.py via the reverse closure.
+        runner.write_text(self.RUNNER_SPAWNS)
+        dirty, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in dirty] == ["RL014"]
+        assert dirty[0].path.endswith("work.py")
+
+        runner.write_text(self.RUNNER_AWAITS)
+        reverted, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert reverted == []
+
+    def test_coroutine_edit_reanalyzes_spawner_side(self, proj, cache_dir):
+        work = proj / "work.py"
+        atomic = self.WORK.replace(
+            "        before = self.total\n"
+            "        await asyncio.sleep(0)\n"
+            "        self.total = before + 1\n",
+            "        await asyncio.sleep(0)\n"
+            "        self.total += 1\n",
+        )
+        assert atomic != self.WORK
+        work.write_text(atomic)
+        (proj / "runner.py").write_text(self.RUNNER_SPAWNS)
+        clean, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert clean == []  # atomic update: no spanning write
+
+        work.write_text(self.WORK)
+        dirty, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in dirty] == ["RL014"]
+
+    def test_async_scope_widens_only_for_async_rules(
+        self, proj, cache_dir, monkeypatch
+    ):
+        from repro.lint.rules.rl014_races import AsyncSharedStateRule
+
+        (proj / "work.py").write_text(self.WORK)
+        (proj / "runner.py").write_text(self.RUNNER_AWAITS)
+        (proj / "island.py").write_text("def alone():\n    return 0\n")
+        lint_paths([str(proj)], cache_dir=cache_dir)
+
+        plain_seen, async_seen = [], []
+        plain_orig = SimTimeRule.check_project
+        async_orig = AsyncSharedStateRule.check_project
+
+        def plain_spy(self, project, only=None):
+            plain_seen.append(only)
+            return plain_orig(self, project, only=only)
+
+        def async_spy(self, project, only=None):
+            async_seen.append(only)
+            return async_orig(self, project, only=only)
+
+        monkeypatch.setattr(SimTimeRule, "check_project", plain_spy)
+        monkeypatch.setattr(
+            AsyncSharedStateRule, "check_project", async_spy
+        )
+        (proj / "runner.py").write_text(self.RUNNER_SPAWNS)
+        lint_paths([str(proj)], cache_dir=cache_dir)
+        # Plain cone rules re-check only the edited module; async-facts
+        # rules also re-check the coroutine module it reaches into.
+        assert plain_seen == [frozenset({"runner"})]
+        assert async_seen == [frozenset({"runner", "work"})]
+
+    def test_full_hit_replays_async_findings(
+        self, proj, cache_dir, monkeypatch
+    ):
+        (proj / "work.py").write_text(self.WORK)
+        (proj / "runner.py").write_text(self.RUNNER_SPAWNS)
+        cold, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert [v.code for v in cold] == ["RL014"]
+
+        def boom(*args, **kwargs):
+            raise AssertionError("full hit must not parse any file")
+
+        monkeypatch.setattr(cli, "_make_entry", boom)
+        warm, _ = lint_paths([str(proj)], cache_dir=cache_dir)
+        assert keyed(warm) == keyed(cold)

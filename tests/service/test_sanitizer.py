@@ -1,0 +1,154 @@
+"""Loop-stall sanitizer: lag sampling, stall counting, task census.
+
+No pytest-asyncio in the toolchain; each test drives its own event
+loop through ``asyncio.run`` (see test_loopback.py). Stall tests use
+a deliberate ``time.sleep`` inside the loop -- the exact pathology
+RL013 bans from src -- to prove the runtime side catches what the
+static side cannot see.
+"""
+
+import asyncio
+import time
+
+from repro.service.sanitizer import LoopSanitizer, SanitizerConfig
+from repro.telemetry.metrics import MetricsRegistry
+
+#: A fast heartbeat so tests finish in tens of milliseconds.
+FAST = SanitizerConfig(interval=0.01, stall_threshold=0.02)
+
+
+class TestLagSampling:
+    def test_idle_loop_reports_no_stalls(self):
+        async def run():
+            sanitizer = LoopSanitizer(config=FAST)
+            await sanitizer.start()
+            await asyncio.sleep(0.08)
+            await sanitizer.stop()
+            return sanitizer.report()
+
+        report = asyncio.run(run())
+        assert report["lag_samples"] >= 3
+        assert report["stalls"] == 0
+        assert report["leaked_tasks"] == 0
+        assert report["lag_p99"] < FAST.stall_threshold
+
+    def test_blocking_callback_registers_a_stall(self):
+        async def run():
+            sanitizer = LoopSanitizer(config=FAST)
+            await sanitizer.start()
+            await asyncio.sleep(0.02)  # let the heartbeat settle in
+            time.sleep(0.08)  # hold the loop across several beats
+            await asyncio.sleep(0.02)
+            await sanitizer.stop()
+            return sanitizer.report()
+
+        report = asyncio.run(run())
+        assert report["stalls"] >= 1
+        assert report["lag_max"] >= 0.05
+
+    def test_stop_is_idempotent_and_start_once(self):
+        async def run():
+            sanitizer = LoopSanitizer(config=FAST)
+            await sanitizer.start()
+            first = sanitizer._task
+            await sanitizer.start()  # second start is a no-op
+            assert sanitizer._task is first
+            await sanitizer.stop()
+            await sanitizer.stop()  # second stop is a no-op
+            return sanitizer.report()
+
+        report = asyncio.run(run())
+        assert report["leaked_tasks"] == 0
+
+
+class TestTaskCensus:
+    def test_orphan_task_is_reported_leaked(self):
+        async def run():
+            sanitizer = LoopSanitizer(config=FAST)
+            await sanitizer.start()
+            orphan = asyncio.get_running_loop().create_task(
+                asyncio.sleep(30.0), name="orphan-worker"
+            )
+            await asyncio.sleep(0.02)
+            await sanitizer.stop()
+            report = sanitizer.report()
+            orphan.cancel()  # clean up so asyncio.run can exit quietly
+            try:
+                await orphan
+            except asyncio.CancelledError:
+                pass
+            return report
+
+        report = asyncio.run(run())
+        assert report["leaked_tasks"] == 1
+        assert report["leaked_task_names"] == ["orphan-worker"]
+
+    def test_baseline_tasks_are_not_leaks(self):
+        async def run():
+            preexisting = asyncio.get_running_loop().create_task(
+                asyncio.sleep(30.0), name="preexisting"
+            )
+            sanitizer = LoopSanitizer(config=FAST)
+            await sanitizer.start()  # baseline snapshots the task above
+            await asyncio.sleep(0.02)
+            await sanitizer.stop()
+            report = sanitizer.report()
+            preexisting.cancel()
+            try:
+                await preexisting
+            except asyncio.CancelledError:
+                pass
+            return report
+
+        report = asyncio.run(run())
+        assert report["leaked_tasks"] == 0
+
+    def test_completed_tasks_are_not_leaks(self):
+        async def run():
+            sanitizer = LoopSanitizer(config=FAST)
+            await sanitizer.start()
+            done = asyncio.get_running_loop().create_task(
+                asyncio.sleep(0), name="short-lived"
+            )
+            await done
+            await asyncio.sleep(0.02)
+            await sanitizer.stop()
+            return sanitizer.report()
+
+        report = asyncio.run(run())
+        assert report["leaked_tasks"] == 0
+
+
+class TestMetricsExport:
+    def test_lag_and_stalls_reach_the_registry(self):
+        registry = MetricsRegistry(enabled=True)
+
+        async def run():
+            sanitizer = LoopSanitizer(config=FAST, metrics=registry)
+            await sanitizer.start()
+            await asyncio.sleep(0.02)
+            time.sleep(0.08)
+            await asyncio.sleep(0.02)  # let the lagged beat record
+            await sanitizer.stop()
+            return sanitizer.report()
+
+        report = asyncio.run(run())
+        text = registry.to_prometheus()
+        assert "service_loop_lag_seconds" in text
+        assert "service_loop_stalls_total" in text
+        assert "service_leaked_tasks 0" in text
+        assert report["stalls"] >= 1
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+
+        async def run():
+            sanitizer = LoopSanitizer(config=FAST, metrics=registry)
+            await sanitizer.start()
+            await asyncio.sleep(0.03)
+            await sanitizer.stop()
+            return sanitizer.report()
+
+        report = asyncio.run(run())
+        assert report["lag_samples"] >= 1  # sampling itself still works
+        assert registry.to_prometheus() == ""
