@@ -38,7 +38,8 @@ import time
 
 from repro.core.config import QAConfig
 from repro.service.client import LoadFleet
-from repro.service.results import fleet_result, percentile
+from repro.service.results import fleet_result
+from repro.telemetry.digest import percentile
 from repro.service.server import ServiceConfig, StreamingService
 
 SCHEMA = 1

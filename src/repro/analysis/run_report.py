@@ -46,6 +46,7 @@ from repro.telemetry import (
     export_chrome_trace,
     export_prometheus,
     instrument_engine,
+    merge_spans,
 )
 
 #: Decision kinds shown line-by-line in the timeline (the rest are
@@ -62,7 +63,8 @@ _METRIC_ROW_LIMIT = 40
 def _run_multiflow(args: argparse.Namespace) -> tuple[Scenario, str, Tracer]:
     scenario = build_scenario(
         args.n_qa, args.n_tcp, duration=args.duration, seed=args.seed,
-        record_decisions=True, collect_metrics=True)
+        record_decisions=True, collect_metrics=True,
+        trace_spans=args.trace)
     title = (f"multiflow_fairness: {args.n_qa} QA + {args.n_tcp} TCP, "
              f"seed={args.seed}, {args.duration:.0f}s")
     return scenario, title, scenario.flows[0].session.tracer
@@ -70,11 +72,13 @@ def _run_multiflow(args: argparse.Namespace) -> tuple[Scenario, str, Tracer]:
 
 def _run_paper(args: argparse.Namespace) -> tuple[Scenario, str, Tracer]:
     config = WorkloadConfig(seed=args.seed, duration=args.duration,
-                            record_decisions=True, collect_metrics=True)
+                            record_decisions=True, collect_metrics=True,
+                            trace_spans=args.trace)
     if args.workload == "t2":
         config = WorkloadConfig.t2(seed=args.seed, duration=args.duration,
                                    record_decisions=True,
-                                   collect_metrics=True)
+                                   collect_metrics=True,
+                                   trace_spans=args.trace)
     workload = PaperWorkload(config)
     title = (f"{args.workload.upper()} workload, seed={args.seed}, "
              f"{config.duration:.0f}s")
@@ -251,7 +255,8 @@ def write_artifacts(out_dir: pathlib.Path, report: str, title: str,
                                      scenario.metrics))
     written.append(export_chrome_trace(out_dir / "trace.json",
                                        recorder=scenario.recorder,
-                                       tracer=tracer))
+                                       tracer=tracer,
+                                       spans=merge_spans(scenario.spans)))
     record = RunRecord(name=f"report:{title}", text=report,
                        seconds=seconds, cache_hit=False, seed=seed,
                        cache_key=None)
@@ -279,6 +284,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="QA flows (multiflow only)")
     parser.add_argument("--n-tcp", type=int, default=4,
                         help="TCP cross flows (multiflow only)")
+    parser.add_argument("--trace", action="store_true",
+                        help="also record per-flow span trees; they land "
+                             "in trace.json as nested spans per trace id")
     parser.add_argument("--out", default=None,
                         help="directory for report.txt, flight.jsonl, "
                              "metrics.prom, trace.json, manifest.json")

@@ -78,15 +78,16 @@ def build_scenario(n_qa: int, n_tcp: int = 4, *,
                    layer_rate: float = 6500.0, packet_size: int = 500,
                    telemetry: bool = True,
                    record_decisions: bool = False,
-                   collect_metrics: bool = False) -> Scenario:
+                   collect_metrics: bool = False,
+                   trace_spans: bool = False) -> Scenario:
     """The shared scenario: ``n_qa`` QA flows + ``n_tcp`` TCP flows on a
     dumbbell provisioned at :data:`PER_FLOW_BANDWIDTH` per flow.
 
     QA flows all start at t=0 with identical configs; TCP start times
     are drawn from each flow's own spawned RNG stream.
-    ``record_decisions``/``collect_metrics`` attach the scenario's
-    flight recorder and metrics registry (``repro-report`` turns them
-    on; the golden sweep leaves them off).
+    ``record_decisions``/``collect_metrics``/``trace_spans`` attach the
+    scenario's flight recorder, metrics registry and span recorder
+    (``repro-report`` turns them on; the golden sweep leaves them off).
     """
     qa_config = QAConfig(layer_rate=layer_rate, packet_size=packet_size)
     flows = tuple(
@@ -106,6 +107,7 @@ def build_scenario(n_qa: int, n_tcp: int = 4, *,
         telemetry=telemetry,
         record_decisions=record_decisions,
         collect_metrics=collect_metrics,
+        trace_spans=trace_spans,
     ))
 
 

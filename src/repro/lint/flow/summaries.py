@@ -43,9 +43,11 @@ RNG_MODULE = "repro.sim.rng"
 RNG_CLASS = f"{RNG_MODULE}.SeededRNG"
 
 #: Factory methods whose result is "None when disabled, else a bound
-#: sample method" (shared with RL007).
+#: sample method" (shared with RL007). ``span_hook`` is the tracing
+#: recorder's factory — same None-when-disabled contract.
 HOOK_FACTORY_METHODS = frozenset({
     "event_hook", "counter_hook", "gauge_hook", "histogram_hook", "hook",
+    "span_hook",
 })
 
 #: Container methods that mutate their receiver in place.

@@ -12,7 +12,10 @@ PR 5 widened the contract to the whole observability surface: the
 metrics registry's ``counter_hook``/``gauge_hook``/``histogram_hook``
 factories and the flight recorder's ``hook`` factory follow the same
 protocol — ``None`` when the sink is disabled, a bound sample method
-when enabled — so their results get the same enforcement.
+when enabled — so their results get the same enforcement. PR 10 added
+the tracing recorder's ``span_hook`` factory (``SpanRecorder.span_hook
+(source, context)``): span producers must bind once and None-guard, so
+a run with tracing off never builds a span.
 
 The rule tracks hook values through each function -- parameters and
 attributes named ``on_event``, class attributes assigned from a hook

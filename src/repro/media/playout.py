@@ -60,6 +60,7 @@ class PlayoutBuffer:
         playout_start: float,
         resume_threshold: float = 0.1,
         layer_start_threshold: float = 0.0,
+        on_event=None,
     ) -> None:
         self.layer_rate = layer_rate
         self.max_layers = max_layers
@@ -76,6 +77,10 @@ class PlayoutBuffer:
         self.stalled = False
         self._stall_began = 0.0
         self._last_advance = 0.0
+        #: ``(time, kind, fields)`` QoE-event sink (RL007: ``None`` when
+        #: nobody listens): ``playout_start``, ``stall_begin``, and
+        #: ``stall_end`` (with the stall's ``duration``).
+        self.on_event = on_event
 
     # ------------------------------------------------------------- arrival
 
@@ -154,6 +159,8 @@ class PlayoutBuffer:
         self.playing = True
         start = min(now, self.playout_start)
         self.stats.startup_time = self.playout_start
+        if self.on_event is not None:
+            self.on_event(now, "playout_start", {})
         for i in range(self.max_layers):
             if self.buffers.is_active(i):
                 self._maybe_start_layer(start, i)
@@ -167,6 +174,8 @@ class PlayoutBuffer:
         self._stall_began = now
         self.stats.stall_count += 1
         self.buffers.pause(now)
+        if self.on_event is not None:
+            self.on_event(now, "stall_begin", {})
 
     def _maybe_resume(self, now: float) -> None:
         if not self.stalled:
@@ -175,8 +184,16 @@ class PlayoutBuffer:
             self.stalled = False
             self.stats.stall_time += now - self._stall_began
             self.buffers.pause(now)  # clocks restart from `now`
+            if self.on_event is not None:
+                self.on_event(now, "stall_end",
+                              {"duration": now - self._stall_began})
 
     # ------------------------------------------------------------ queries
+
+    @property
+    def stall_began(self) -> float:
+        """When the current stall started (meaningful while stalled)."""
+        return self._stall_began
 
     def level(self, layer: int) -> float:
         return self.buffers.level(layer)

@@ -38,7 +38,13 @@ from repro.sim.node import Host
 from repro.sim.parking_lot import ParkingLot, ParkingLotConfig
 from repro.sim.rng import SeededRNG, make_rng
 from repro.sim.topology import Dumbbell, DumbbellConfig
-from repro.telemetry import FlightRecorder, MetricsRegistry, TelemetryBus
+from repro.telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    SpanRecorder,
+    TelemetryBus,
+    TraceContext,
+)
 from repro.transport import (
     CbrSink,
     CbrSource,
@@ -88,6 +94,12 @@ class Scenario:
             capacity=config.recorder_capacity,
             enabled=config.record_decisions)
         self.metrics = MetricsRegistry(enabled=config.collect_metrics)
+        # Span tracing: one recorder per scenario, one deterministic
+        # trace per QA flow (ids derive from the seed and flow index,
+        # so two same-seed runs produce identical trace ids).
+        self.spans = SpanRecorder(
+            capacity=config.span_capacity,
+            enabled=config.trace_spans)
         self.network: Union[Dumbbell, ParkingLot]
         if isinstance(config.topology, ParkingLotConfig):
             self.network = ParkingLot(self.sim, config.topology)
@@ -169,6 +181,7 @@ class Scenario:
                            decimate=self.config.telemetry_decimate,
                            recorder=self.recorder,
                            source=label)
+        context = TraceContext.derive(self.config.seed, "trace", index)
         session = StreamingSession(
             self.sim, src, dst, spec.config,
             start=spec.start,
@@ -176,6 +189,7 @@ class Scenario:
             adapter_cls=spec.adapter_cls,
             transport_cls=spec.transport_cls,
             telemetry=bus,
+            span_hook=self.spans.span_hook(label, context),
         )
         if spec.stop is not None:
             self.sim.schedule_at(spec.stop, session.stop, priority=0)
@@ -342,4 +356,6 @@ class Scenario:
             out["recorder"] = self.recorder.summary()
         if self.metrics.enabled:
             out["metrics"] = self.metrics.snapshot()
+        if self.spans.enabled:
+            out["spans"] = self.spans.summary()
         return out

@@ -136,6 +136,13 @@ class ScenarioConfig:
         recorder_capacity: flight-recorder ring size (records).
         collect_metrics: True attaches a shared metrics registry to the
             backbone links and flows (counters/gauges/histograms).
+        trace_spans: True attaches a shared
+            :class:`~repro.telemetry.tracing.SpanRecorder` and gives
+            every QA flow a deterministic trace context derived from
+            ``seed`` and the flow index: adapter ticks and §2.2
+            decision events land as spans, exportable through the
+            Chrome-trace path alongside service-side traces.
+        span_capacity: span-recorder ring size (spans).
         backend: ``"packet"`` builds the discrete-event simulation
             (:class:`repro.scenario.builder.Scenario`); ``"fluid"``
             solves the same spec analytically
@@ -155,6 +162,8 @@ class ScenarioConfig:
     record_decisions: bool = False
     recorder_capacity: int = 65536
     collect_metrics: bool = False
+    trace_spans: bool = False
+    span_capacity: int = 65536
     backend: str = "packet"
 
     def __post_init__(self) -> None:
@@ -172,6 +181,8 @@ class ScenarioConfig:
                     f"got kinds {sorted(set(bad))}")
         if self.recorder_capacity < 1:
             raise ValueError("recorder_capacity must be >= 1")
+        if self.span_capacity < 1:
+            raise ValueError("span_capacity must be >= 1")
         if isinstance(self.topology, ParkingLotConfig):
             want = self.topology.n_hops + 1
             if len(self.flows) != want:

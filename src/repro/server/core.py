@@ -39,10 +39,27 @@ from typing import Callable, Optional, Protocol, runtime_checkable
 from repro.core.adapter import QualityAdapter
 from repro.core.config import QAConfig
 from repro.media.stream import LayeredStream
+from repro.telemetry.tracing import SpanHook
 
 #: ``(time, kind, fields)`` decision-record sink (RL007: ``None`` when
 #: nobody is recording).
 EventHook = Callable[[float, str, dict[str, object]], None]
+
+
+def _tee_decision_spans(on_event: Optional[EventHook],
+                        span_hook: SpanHook) -> EventHook:
+    """Mirror adapter decision events into instant spans.
+
+    The adapter keeps seeing exactly one hook (hook *presence* changes
+    its clock-read count, which the session tape pins), so enabling
+    spans alongside a recorder does not perturb taped replays of the
+    same wiring.
+    """
+    def _hook(time: float, kind: str, fields: dict[str, object]) -> None:
+        if on_event is not None:
+            on_event(time, kind, fields)
+        span_hook(time, time, f"qa.{kind}", fields)
+    return _hook
 
 
 @runtime_checkable
@@ -145,6 +162,12 @@ class SessionCore:
         start: session start on the ``now_fn`` clock.
         on_event: decision-record sink shared with the transport, or
             ``None`` (RL007 discipline: no record is built).
+        span_hook: tracing sink from :meth:`~repro.telemetry.tracing.
+            SpanRecorder.span_hook`, or ``None`` (same RL007
+            discipline). When bound, every :meth:`tick` records a
+            ``qa.tick`` span on the *raw* clock (outside the tape, so
+            taped replays stay byte-identical) and every adapter
+            decision event is mirrored as an instant ``qa.<kind>`` span.
         adapter_cls: the adapter implementation (ablations override).
         tape: optional :class:`SessionTape` to record into.
     """
@@ -157,6 +180,7 @@ class SessionCore:
         stream: Optional[LayeredStream] = None,
         start: float = 0.0,
         on_event: Optional[EventHook] = None,
+        span_hook: Optional[SpanHook] = None,
         adapter_cls: type[QualityAdapter] = QualityAdapter,
         tape: Optional[SessionTape] = None,
     ) -> None:
@@ -171,6 +195,12 @@ class SessionCore:
         self.config = effective
         self._transport = transport
         self.tape = tape
+        self.span_hook = span_hook
+        #: Span timestamps read the raw clock, never the taped wrapper:
+        #: tracing must not perturb the recorded clock stream.
+        self._span_now = now_fn
+        if span_hook is not None:
+            on_event = _tee_decision_spans(on_event, span_hook)
 
         if tape is not None:
             now_fn = self._taped(now_fn, tape.clock)
@@ -251,7 +281,14 @@ class SessionCore:
         """Periodic housekeeping; drive every ``config.drain_period``."""
         if self.tape is not None:
             self.tape.calls.append(("tick",))
+        span = self.span_hook
+        if span is None:
+            self.adapter.tick()
+            return
+        t0 = self._span_now()
         self.adapter.tick()
+        span(t0, self._span_now(), "qa.tick",
+             {"active": self.adapter.active_layers})
 
     # -------------------------------------------------------------- replay
 

@@ -39,6 +39,7 @@ class VideoServer:
         stream: Optional[LayeredStream] = None,
         start: float = 0.0,
         on_event=None,
+        span_hook=None,
         adapter_cls: type[QualityAdapter] = QualityAdapter,
         transport_cls: type[RapSource] = RapSource,
         tape: Optional[SessionTape] = None,
@@ -50,6 +51,7 @@ class VideoServer:
             stream=stream,
             start=start,
             on_event=on_event,
+            span_hook=span_hook,
             adapter_cls=adapter_cls,
             tape=tape,
         )

@@ -91,6 +91,7 @@ class StreamingSession:
         adapter_cls=None,
         transport_cls=None,
         telemetry: Optional[TelemetryBus] = None,
+        span_hook=None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -107,6 +108,7 @@ class StreamingSession:
             sim, server_host, client_host.name, config, stream=stream,
             start=start,
             on_event=self.telemetry.event_hook(),
+            span_hook=span_hook,
             adapter_cls=adapter_cls or QualityAdapter,
             transport_cls=transport_cls or RapSource)
         self.client = VideoClient(

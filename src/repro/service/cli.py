@@ -23,10 +23,14 @@ from typing import Optional, Sequence
 from repro.core.config import QAConfig
 from repro.service.client import LoadFleet
 from repro.service.impairment import ImpairmentConfig
+from repro.service.introspect import IntrospectionServer
 from repro.service.results import (fleet_result, fleet_summary,
-                                   percentile, render_fleet_report)
+                                   render_fleet_report)
 from repro.service.sanitizer import LoopSanitizer
 from repro.service.server import ServiceConfig, StreamingService
+from repro.telemetry.digest import percentile
+from repro.telemetry.exporters import export_chrome_trace
+from repro.telemetry.tracing import merge_spans
 
 
 def _qa_from_args(args: argparse.Namespace) -> QAConfig:
@@ -49,13 +53,17 @@ def _add_qa_args(parser: argparse.ArgumentParser) -> None:
 
 def _service_config(args: argparse.Namespace,
                     port: Optional[int] = None) -> ServiceConfig:
+    # /metrics needs a registry even when no --metrics-out file is due.
+    collect = (getattr(args, "metrics_out", None) is not None
+               or getattr(args, "introspect", None) is not None)
     return ServiceConfig(
         host=args.host,
         port=args.port if port is None else port,
         qa=_qa_from_args(args),
         max_sessions=args.max_sessions,
         record_decisions=getattr(args, "flight", None) is not None,
-        collect_metrics=getattr(args, "metrics_out", None) is not None,
+        collect_metrics=collect,
+        trace_spans=getattr(args, "trace", None) is not None,
     )
 
 
@@ -66,6 +74,19 @@ def _write_service_outputs(service: StreamingService,
     if getattr(args, "metrics_out", None) and service.metrics is not None:
         pathlib.Path(args.metrics_out).write_text(
             service.metrics.to_prometheus())
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record distributed-tracing spans and "
+                             "write a Chrome trace-event JSON on exit "
+                             "(open in ui.perfetto.dev)")
+    parser.add_argument("--introspect", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live /metrics, /sessions and "
+                             "/healthz over HTTP on this port "
+                             "(0 = ephemeral; implies a metrics "
+                             "registry)")
 
 
 # ------------------------------------------------------------------ serve
@@ -85,6 +106,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         help="write adapter decision JSONL on exit")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write Prometheus metrics text on exit")
+    _add_observability_args(parser)
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -93,9 +115,22 @@ async def _serve(args: argparse.Namespace,
                  started: list[StreamingService]) -> int:
     service = await StreamingService.start(_service_config(args))
     started.append(service)
+    introspect: Optional[IntrospectionServer] = None
+    sanitizer: Optional[LoopSanitizer] = None
+    if args.introspect is not None:
+        # The listener gets its own sanitizer so /healthz always has
+        # live lag data, even without an explicit soak harness.
+        sanitizer = LoopSanitizer(metrics=service.metrics)
+        await sanitizer.start()
+        introspect = await IntrospectionServer.start(
+            service, sanitizer=sanitizer,
+            host=args.host, port=args.introspect)
     if not args.quiet:
         print(f"repro-serve: listening on "
               f"{args.host}:{service.port}", flush=True)
+        if introspect is not None:
+            print(f"repro-serve: introspection on "
+                  f"http://{args.host}:{introspect.port}", flush=True)
     try:
         if args.duration > 0:
             await asyncio.sleep(args.duration)
@@ -104,7 +139,11 @@ async def _serve(args: argparse.Namespace,
     except (KeyboardInterrupt, asyncio.CancelledError):
         pass
     finally:
+        if introspect is not None:
+            await introspect.close()
         await service.close()
+        if sanitizer is not None:
+            await sanitizer.stop()
     if not args.quiet:
         print(f"repro-serve: {service.counters}", flush=True)
     return 0
@@ -121,6 +160,9 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         status = 0
     for service in started:
         _write_service_outputs(service, args)
+        if args.trace and service.spans is not None:
+            export_chrome_trace(pathlib.Path(args.trace),
+                                spans=merge_spans(service.spans))
     return status
 
 
@@ -156,6 +198,7 @@ def _build_load_parser() -> argparse.ArgumentParser:
                         help="with --self-serve: decision JSONL")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="with --self-serve: Prometheus text")
+    _add_observability_args(parser)
     parser.add_argument("--out", metavar="PATH",
                         help="write the plain-text report here too")
     parser.add_argument("--json", metavar="PATH",
@@ -176,7 +219,7 @@ def _build_load_parser() -> argparse.ArgumentParser:
 
 async def _load(
     args: argparse.Namespace,
-) -> tuple[int, str, dict, Optional[StreamingService]]:
+) -> tuple[int, str, dict, Optional[StreamingService], LoadFleet]:
     service: Optional[StreamingService] = None
     port = args.port
     if args.self_serve:
@@ -184,26 +227,45 @@ async def _load(
             _service_config(args, port=0))
         port = service.port
     sanitizer: Optional[LoopSanitizer] = None
-    if args.sanitize:
+    # --introspect arms the sanitizer too (like repro-serve) so
+    # /healthz always has lag data to gate on.
+    if args.sanitize or (args.introspect is not None
+                         and service is not None):
         sanitizer = LoopSanitizer(
             metrics=service.metrics if service is not None else None)
         await sanitizer.start()
+    introspect: Optional[IntrospectionServer] = None
+    if args.introspect is not None and service is None:
+        print("repro-load: --introspect needs --self-serve (it "
+              "introspects the in-process server); ignoring",
+              file=sys.stderr)
+    elif args.introspect is not None and service is not None:
+        introspect = await IntrospectionServer.start(
+            service, sanitizer=sanitizer,
+            host=args.host, port=args.introspect,
+            max_lag_p99=args.max_lag_p99)
+        if not args.quiet:
+            print(f"repro-load: introspection on "
+                  f"http://{args.host}:{introspect.port}", flush=True)
+    fleet = LoadFleet(
+        args.host, port,
+        sessions=args.sessions,
+        duration=args.duration,
+        impairment=ImpairmentConfig(
+            loss_rate=args.loss,
+            delay=args.delay,
+            jitter=args.jitter,
+            rate_limit=args.rate_limit,
+        ),
+        seed=args.seed,
+        spread=args.spread,
+        trace_spans=args.trace is not None,
+    )
     try:
-        fleet = LoadFleet(
-            args.host, port,
-            sessions=args.sessions,
-            duration=args.duration,
-            impairment=ImpairmentConfig(
-                loss_rate=args.loss,
-                delay=args.delay,
-                jitter=args.jitter,
-                rate_limit=args.rate_limit,
-            ),
-            seed=args.seed,
-            spread=args.spread,
-        )
         results = await fleet.run()
     finally:
+        if introspect is not None:
+            await introspect.close()
         if service is not None:
             await service.close()
         # Stop after close so leaked session tasks are visible to the
@@ -261,13 +323,13 @@ async def _load(
                   f"{san_report['leaked_tasks']} leaked task(s): {names}",
                   file=sys.stderr)
             status = 1
-    return status, report, summary, service
+    return status, report, summary, service, fleet
 
 
 def load_main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_load_parser().parse_args(argv)
     try:
-        status, report, summary, service = asyncio.run(_load(args))
+        status, report, summary, service, fleet = asyncio.run(_load(args))
     except KeyboardInterrupt:
         return 1
     # File writes happen here, after the loop has shut down: sync I/O
@@ -279,6 +341,13 @@ def load_main(argv: Optional[Sequence[str]] = None) -> int:
             json.dumps(summary, sort_keys=True, indent=2) + "\n")
     if service is not None:
         _write_service_outputs(service, args)
+    if args.trace:
+        # One document holding both halves of every distributed trace:
+        # client spans from the fleet recorder, server spans from the
+        # service's (when --self-serve ran one in-process).
+        spans = (merge_spans(fleet.spans, service.spans)
+                 if service is not None else merge_spans(fleet.spans))
+        export_chrome_trace(pathlib.Path(args.trace), spans=spans)
     return status
 
 

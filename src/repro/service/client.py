@@ -15,6 +15,14 @@ staggered starts; per-session randomness (the impairment's loss/jitter
 draws) is a :meth:`~repro.sim.rng.SeededRNG.spawn` of one fleet seed,
 so a fleet's loss *pattern* is reproducible even though wall-clock
 arrival times are not.
+
+With ``trace_spans`` on, the fleet carries a shared
+:class:`~repro.telemetry.tracing.SpanRecorder` and derives one
+deterministic :class:`~repro.telemetry.tracing.TraceContext` per client
+from the fleet seed. Each client sends its context in the HELLO options
+(:data:`repro.service.protocol.TRACE_KEY`), so the server's spans for
+the same session land under the *same* trace id — merging both
+recorders yields one coherent distributed trace per session.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.service import protocol
 from repro.service.impairment import Impairment, ImpairmentConfig
 from repro.sim.rng import SeededRNG, make_rng
 from repro.sim.trace import Tracer
+from repro.telemetry.tracing import SpanRecorder, TraceContext
 
 #: How long to wait for a WELCOME / FIN_ACK before retransmitting.
 HANDSHAKE_TIMEOUT = 0.5
@@ -104,6 +113,8 @@ class LoadClient(asyncio.DatagramProtocol):
         rng: Optional[SeededRNG] = None,
         nonce: int = 0,
         sample_period: float = 0.1,
+        trace: Optional[TraceContext] = None,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -115,6 +126,9 @@ class LoadClient(asyncio.DatagramProtocol):
         self.impairment = (
             Impairment(impairment, rng or make_rng(0))
             if impairment.active else None)
+        self.trace = trace
+        self._span = (spans.span_hook(label, trace)
+                      if spans is not None and trace is not None else None)
 
         self.transport: Optional[asyncio.DatagramTransport] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -129,6 +143,8 @@ class LoadClient(asyncio.DatagramProtocol):
         self.acks_sent = 0
         self._last_sample_t = 0.0
         self._last_sample_bytes = 0
+        self._last_sample_packets = 0
+        self._last_seq = -1
         self._welcome: Optional[asyncio.Future] = None
         self._fin_ack: Optional[asyncio.Future] = None
 
@@ -194,14 +210,27 @@ class LoadClient(asyncio.DatagramProtocol):
                 max_layers=self.session_config["max_layers"],
                 playout_start=(
                     when + self.session_config["startup_delay"]),
+                on_event=(self._playout_event
+                          if self._span is not None else None),
             )
         self.playout.on_packet(when, frame.layer, frame.size,
                                server_active=frame.active)
         self.bytes_received += frame.size
         self.packets_received += 1
+        self._last_seq = frame.seq
         self.transport.sendto(protocol.encode_ack(
             frame.session_id, frame.seq, frame.send_ts))
         self.acks_sent += 1
+
+    def _playout_event(self, when: float, kind: str, fields: dict) -> None:
+        """Playout QoE events -> client spans (stalls become intervals)."""
+        span = self._span
+        if span is None:
+            return
+        if kind == "stall_end":
+            span(when - fields["duration"], when, "client.stall", fields)
+        else:
+            span(when, when, f"client.{kind}", fields)
 
     def _sample(self) -> None:
         now = self._now()
@@ -216,8 +245,19 @@ class LoadClient(asyncio.DatagramProtocol):
                 / (now - self._last_sample_t))
         self.tracer.record("layers", now, layers)
         self.tracer.record("rate", now, rate)
+        span = self._span
+        if span is not None:
+            span(self._last_sample_t, now, "client.recv", {
+                "bytes": self.bytes_received - self._last_sample_bytes,
+                "packets": (self.packets_received
+                            - self._last_sample_packets),
+                "rate": rate,
+                "layers": layers,
+                "last_seq": self._last_seq,
+            })
         self._last_sample_t = now
         self._last_sample_bytes = self.bytes_received
+        self._last_sample_packets = self.packets_received
 
     # ------------------------------------------------------------ lifecycle
 
@@ -245,10 +285,14 @@ class LoadClient(asyncio.DatagramProtocol):
         result = LoadSessionResult(
             label=self.label, session_id=-1, duration=self.duration,
             tracer=self.tracer)
+        options: dict = {}
+        if self.trace is not None:
+            options[protocol.TRACE_KEY] = self.trace.to_wire()
         try:
             try:
+                hello_t = self._now()
                 reply = await self._request(
-                    protocol.encode_hello(self.nonce, {}),
+                    protocol.encode_hello(self.nonce, options),
                     self._welcome, "WELCOME")
             except TimeoutError as exc:
                 result.error = str(exc)
@@ -260,6 +304,10 @@ class LoadClient(asyncio.DatagramProtocol):
             self.session_id = reply.session_id
             self.session_config = reply.config
             result.session_id = reply.session_id
+            span = self._span
+            if span is not None:
+                span(hello_t, self._now(), "client.handshake",
+                     {"session_id": reply.session_id})
 
             end = self._now() + self.duration
             while True:
@@ -292,6 +340,21 @@ class LoadClient(asyncio.DatagramProtocol):
                 result.dropped_backlog = self.impairment.dropped_backlog
             if self.playout is not None:
                 result.playout = self.playout.stats
+            span = self._span
+            if span is not None:
+                teardown = self._now()
+                if self.playout is not None and self.playout.stalled:
+                    # A stall still open at teardown never saw stall_end.
+                    span(self.playout.stall_began, teardown,
+                         "client.stall", {"open": True})
+                span(0.0, teardown, "client.session", {
+                    "session_id": result.session_id,
+                    "bytes": self.bytes_received,
+                    "packets": self.packets_received,
+                    "acks": self.acks_sent,
+                    "stalls": result.playout.stall_count,
+                    "error": result.error,
+                })
         return result
 
 
@@ -308,6 +371,8 @@ class LoadFleet:
         seed: int = 0,
         spread: float = 1.0,
         sample_period: float = 0.1,
+        trace_spans: bool = False,
+        span_capacity: int = 65536,
     ) -> None:
         if sessions <= 0:
             raise ValueError("sessions must be positive")
@@ -319,6 +384,10 @@ class LoadFleet:
         self.seed = seed
         self.spread = spread
         self.sample_period = sample_period
+        #: Shared across all clients; trace ids derive from the fleet
+        #: seed so reruns produce the same id per client index.
+        self.spans = SpanRecorder(capacity=span_capacity,
+                                  enabled=trace_spans)
 
     async def run(self) -> list[LoadSessionResult]:
         """Run the whole fleet; one result per session, in index order."""
@@ -328,6 +397,8 @@ class LoadFleet:
             # Stagger starts across ``spread`` seconds so hundreds of
             # HELLOs do not land in one event-loop tick.
             await asyncio.sleep(self.spread * index / self.sessions)
+            trace = (TraceContext.derive(self.seed, "fleet", index)
+                     if self.spans.enabled else None)
             client = LoadClient(
                 self.host, self.port,
                 label=f"load{index}",
@@ -336,6 +407,8 @@ class LoadFleet:
                 rng=root.spawn(f"load{index}"),
                 nonce=index,
                 sample_period=self.sample_period,
+                trace=trace,
+                spans=self.spans,
             )
             return await client.run()
 

@@ -22,6 +22,14 @@ DATA padding makes the on-wire size equal the model's nominal
 assumes. ``send_ts`` is the sender's service-relative clock; the client
 echoes it in ACKs (``echo_ts``) so the server derives RTT samples
 without keeping per-packet state beyond its outstanding map.
+
+Distributed-tracing context rides the JSON control frames, never the
+hot path: a traced client puts ``{"trace": {"trace_id", "span_id"}}``
+(see :data:`TRACE_KEY`) in its HELLO ``options``, the server adopts it
+and echoes it in the WELCOME ``config``. DATA/ACK frames stay binary —
+they correlate to the trace through ``session_id`` + ``seq``, which
+both ends already carry. No version bump: untraced peers simply omit
+the key.
 """
 
 from __future__ import annotations
@@ -31,8 +39,14 @@ import struct
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro.telemetry.tracing import TRACE_OPTION
+
 MAGIC = 0x5241
 VERSION = 1
+
+#: JSON key under which HELLO options / WELCOME config carry the trace
+#: context (shared with :mod:`repro.telemetry.tracing`).
+TRACE_KEY = TRACE_OPTION
 
 HELLO = 1
 WELCOME = 2

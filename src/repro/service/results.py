@@ -7,6 +7,12 @@ uses: :func:`fleet_result` builds a
 mean delivered rates) from :class:`~repro.service.client.
 LoadSessionResult` objects, and :func:`render_fleet_report` renders it
 with the same :mod:`repro.analysis.report` helpers the figures use.
+
+Fleet percentiles (per-session rate, stall time, startup latency, the
+server's smoothed RTT) come from the shared
+:class:`~repro.telemetry.digest.QuantileDigest` — the one percentile
+implementation every report path in this repo quotes — so digests from
+separate fleets (or separate hosts) merge exactly.
 """
 
 from __future__ import annotations
@@ -17,15 +23,29 @@ from repro.analysis.report import format_kv, format_table
 from repro.scenario.result import FlowResult, ScenarioResult
 from repro.service.client import LoadSessionResult
 from repro.sim.flowmon import jain_index
+from repro.telemetry.digest import QuantileDigest, digest_of
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 on empty input."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = int(round((q / 100.0) * (len(ordered) - 1)))
-    return ordered[rank]
+def fleet_digests(results: Sequence[LoadSessionResult]
+                  ) -> dict[str, QuantileDigest]:
+    """Per-metric quantile digests over the fleet's successful sessions.
+
+    Keys: ``rate`` (mean goodput, bytes/s), ``stall_time`` (seconds per
+    session), ``startup`` (startup latency, seconds), ``srtt`` (the
+    server pacer's final smoothed RTT, seconds). Digests over the same
+    metric merge exactly across fleets.
+    """
+    ok = [r for r in results if r.ok]
+    return {
+        "rate": digest_of(r.mean_rate for r in ok),
+        "stall_time": digest_of(r.playout.stall_time for r in ok),
+        "startup": digest_of(
+            r.playout.startup_time for r in ok
+            if r.playout.startup_time is not None),
+        "srtt": digest_of(
+            float(r.server_summary["srtt"]) for r in ok
+            if "srtt" in r.server_summary),
+    }
 
 
 def fleet_result(results: Sequence[LoadSessionResult],
@@ -78,6 +98,10 @@ def fleet_summary(results: Sequence[LoadSessionResult],
         "stalls": stalls,
         "dropped_random": sum(r.dropped_random for r in ok),
         "dropped_backlog": sum(r.dropped_backlog for r in ok),
+        "percentiles": {
+            name: digest.summary()
+            for name, digest in fleet_digests(results).items()
+        },
     }
 
 
@@ -89,7 +113,17 @@ def render_fleet_report(results: Sequence[LoadSessionResult],
     """The per-session QoE table plus fleet aggregates, as plain text."""
     if scenario is None:
         scenario = fleet_result(results, duration)
-    sections = [format_kv(fleet_summary(results, scenario), title=title)]
+    summary = fleet_summary(results, scenario)
+    percentiles = summary.pop("percentiles")
+    sections = [format_kv(summary, title=title)]
+    sections.append(format_table(
+        ["metric", "n", "mean", "p50", "p90", "p99", "max"],
+        [
+            [name, int(block["count"]), block["mean"], block["p50"],
+             block["p90"], block["p99"], block["max"]]
+            for name, block in percentiles.items()
+        ],
+        title="fleet percentiles (quantile digest)"))
     rows = []
     by_label = {r.label: r for r in results if r.ok}
     for flow in scenario.flows:

@@ -30,7 +30,7 @@ import asyncio
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.service.results import percentile
+from repro.telemetry.digest import percentile
 from repro.telemetry.metrics import MetricsRegistry
 
 #: Histogram bounds for loop lag, seconds.  The interesting range is

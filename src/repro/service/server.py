@@ -37,6 +37,7 @@ from repro.service import protocol
 from repro.service.pacing import PacerActions, RapPacer
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.tracing import SpanRecorder, TraceContext
 
 #: Feedback-latency histogram bounds (seconds): loopback sits in the
 #: first buckets, an impaired WAN profile in the last.
@@ -81,6 +82,12 @@ class ServiceConfig:
     recorder_capacity: int = 65536
     #: Collect MetricsRegistry counters/gauges/histograms.
     collect_metrics: bool = False
+    #: Record distributed-tracing spans into a SpanRecorder. Sessions
+    #: adopt the trace context a client ships in its HELLO options (and
+    #: echo it in the WELCOME config); clients that send none get a
+    #: context derived from their session id.
+    trace_spans: bool = False
+    span_capacity: int = 65536
 
     def __post_init__(self) -> None:
         if self.qa.packet_size < protocol.MIN_PACKET_SIZE:
@@ -130,7 +137,7 @@ class ServiceSession:
     """One client's stream: SessionCore + RapPacer + send task."""
 
     def __init__(self, service: "StreamingService", session_id: int,
-                 addr: tuple) -> None:
+                 addr: tuple, options: Optional[dict] = None) -> None:
         self.service = service
         self.session_id = session_id
         self.addr = addr
@@ -139,9 +146,19 @@ class ServiceSession:
         cfg = service.config
         recorder_hook = (service.recorder.hook(self.label)
                          if service.recorder is not None else None)
+        # Adopt the client's trace context from the HELLO options so
+        # both ends of the wire stamp spans into one trace; a client
+        # that sent none gets a context derived from its session id.
+        self.trace = TraceContext.from_wire(options or {})
+        if self.trace is None and service.spans is not None:
+            self.trace = TraceContext.derive(session_id, "service")
+        self._span = (
+            service.spans.span_hook(self.label, self.trace)
+            if service.spans is not None and self.trace is not None
+            else None)
         self.core = SessionCore(
             cfg.qa, now_fn=service.now, start=now,
-            on_event=recorder_hook)
+            on_event=recorder_hook, span_hook=self._span)
         # The pacer *is* a SessionTransport: it exposes rate and slope.
         self.pacer = RapPacer(
             self.core.config.packet_size, now,
@@ -201,6 +218,14 @@ class ServiceSession:
             self.core.on_loss(seq, meta, size)
         if actions.backoff_rate is not None:
             self.core.on_backoff(actions.backoff_rate)
+            span = self._span
+            if span is not None:
+                now = self.service.now()
+                span(now, now, "pacer.backoff", {
+                    "rate": actions.backoff_rate,
+                    "lost": len(actions.lost),
+                    "timeout": actions.timed_out,
+                })
 
     def handle_ack(self, frame: protocol.AckFrame) -> None:
         now = self.service.now()
@@ -240,6 +265,18 @@ class ServiceSession:
         """Stop the send loop; the task exits at its next wakeup."""
         self.done = True
 
+    def record_session_span(self, now: float, reason: str) -> None:
+        """Close the session-lifecycle span (FIN or expiry)."""
+        span = self._span
+        if span is not None:
+            span(self.started, now, "session", {
+                "session_id": self.session_id,
+                "reason": reason,
+                "data_sent": self.data_sent,
+                "queue_drops": self.queue_drops,
+                "active_layers": self.core.active_layers,
+            })
+
 
 class StreamingService(asyncio.DatagramProtocol):
     """The datagram endpoint multiplexing every session.
@@ -253,7 +290,8 @@ class StreamingService(asyncio.DatagramProtocol):
 
     def __init__(self, config: Optional[ServiceConfig] = None,
                  recorder: Optional[FlightRecorder] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.config = config or ServiceConfig()
         cfg = self.config
         if recorder is None and cfg.record_decisions:
@@ -263,8 +301,13 @@ class StreamingService(asyncio.DatagramProtocol):
         if metrics is not None and not metrics.enabled:
             # RL007 discipline: a disabled registry is the same as none.
             metrics = None
+        if spans is None and cfg.trace_spans:
+            spans = SpanRecorder(capacity=cfg.span_capacity)
+        if spans is not None and not spans.enabled:
+            spans = None
         self.recorder = recorder
         self.metrics = metrics
+        self.spans = spans
         self.sessions: dict[int, ServiceSession] = {}
         self._by_addr: dict[tuple, int] = {}
         #: Every live session task, including FIN'd sessions whose task
@@ -301,8 +344,10 @@ class StreamingService(asyncio.DatagramProtocol):
     async def start(cls, config: Optional[ServiceConfig] = None,
                     recorder: Optional[FlightRecorder] = None,
                     metrics: Optional[MetricsRegistry] = None,
+                    spans: Optional[SpanRecorder] = None,
                     ) -> "StreamingService":
-        service = cls(config, recorder=recorder, metrics=metrics)
+        service = cls(config, recorder=recorder, metrics=metrics,
+                      spans=spans)
         loop = asyncio.get_running_loop()
         service._loop = loop
         service._t0 = loop.time()
@@ -320,6 +365,11 @@ class StreamingService(asyncio.DatagramProtocol):
         """Service-relative seconds (the session clock)."""
         assert self._loop is not None
         return self._loop.time() - self._t0
+
+    @property
+    def serving(self) -> bool:
+        """True while the socket is bound and close() has not begun."""
+        return self.transport is not None and not self._closed
 
     async def close(self) -> None:
         """Graceful shutdown: cancel session tasks, close the socket."""
@@ -410,12 +460,17 @@ class StreamingService(asyncio.DatagramProtocol):
 
     def _welcome_body(self, session: ServiceSession) -> dict:
         cfg = session.core.config
-        return {
+        body = {
             "layer_rate": cfg.layer_rate,
             "max_layers": cfg.max_layers,
             "packet_size": cfg.packet_size,
             "startup_delay": cfg.startup_delay,
         }
+        # Echo the trace context so the client can verify propagation;
+        # untraced sessions keep the historical body shape.
+        if session.trace is not None:
+            body[protocol.TRACE_KEY] = session.trace.to_wire()
+        return body
 
     def _handle_hello(self, frame: protocol.HelloFrame,
                       addr: tuple) -> None:
@@ -432,7 +487,8 @@ class StreamingService(asyncio.DatagramProtocol):
             return
         session_id = self._next_session_id
         self._next_session_id += 1
-        session = ServiceSession(self, session_id, addr)
+        session = ServiceSession(self, session_id, addr,
+                                 options=frame.options)
         self.sessions[session_id] = session
         self._by_addr[addr] = session_id
         self.count("sessions_started")
@@ -466,6 +522,7 @@ class StreamingService(asyncio.DatagramProtocol):
         # Summarize while the session is live: finish() freezes the
         # pacer, so a later rate/slope read would observe zeros (RL016).
         summary = session_summary(session.core, session.pacer)
+        session.record_session_span(self.now(), "fin")
         session.finish()
         self.count("sessions_completed")
         self.sendto(protocol.encode_fin_ack(
@@ -478,6 +535,7 @@ class StreamingService(asyncio.DatagramProtocol):
 
     def expire_session(self, session: ServiceSession) -> None:
         """The idle reaper fired: drop a session that stopped ACKing."""
+        session.record_session_span(self.now(), "expired")
         session.finish()
         self.count("sessions_expired")
         self._remove(session)

@@ -31,9 +31,16 @@ On top of the bus sit three observability layers (see
   heap depth from the event loop.
 - exporters — :func:`chrome_trace` / :func:`export_chrome_trace`
   (Perfetto-loadable trace-event JSON) and :func:`export_prometheus`.
+- :class:`SpanRecorder` / :class:`TraceContext` — distributed tracing:
+  deterministic span trees stitched across the sim server, the asyncio
+  service and its clients (trace context rides the HELLO/WELCOME wire
+  options), exported through the Chrome-trace path.
+- :class:`QuantileDigest` — the deterministic, mergeable streaming
+  quantile sketch behind every percentile the reports quote.
 """
 
 from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.digest import QuantileDigest, digest_of, percentile
 from repro.telemetry.engine import EngineInstrumentation, instrument_engine
 from repro.telemetry.exporters import (
     chrome_trace,
@@ -53,6 +60,12 @@ from repro.telemetry.probes import (
     TransportRateProbe,
 )
 from repro.telemetry.recorder import DecisionRecord, FlightRecorder
+from repro.telemetry.tracing import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    merge_spans,
+)
 
 __all__ = [
     "TelemetryBus",
@@ -71,4 +84,11 @@ __all__ = [
     "chrome_trace",
     "export_chrome_trace",
     "export_prometheus",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "merge_spans",
+    "QuantileDigest",
+    "digest_of",
+    "percentile",
 ]

@@ -1,0 +1,266 @@
+"""A deterministic, mergeable streaming quantile digest.
+
+Fleet-scale percentile reporting (RTT, stall time, per-session QoE over
+hundreds of sessions) should not require keeping every raw sample: the
+:class:`QuantileDigest` folds samples into a *fixed* geometric bucket
+grid — the same grid in every process, independent of the data — so two
+digests built on different machines merge by plain bucket-wise addition
+and two same-input digests are bit-for-bit identical.
+
+Design constraints, in order:
+
+- **Deterministic.** The bucket edges are a pure function of the
+  construction parameters, never of the samples; ``to_dict()`` output is
+  stable across runs and processes.
+- **Mergeable.** ``merge`` is exact (bucket-wise sum); merging per-host
+  digests equals digesting the concatenated stream.
+- **Bounded.** Memory is ``O(buckets)`` regardless of sample count; the
+  relative quantile error is bounded by the bucket width (about 3.7 %
+  at the default 32 buckets per decade).
+
+Exact ``count``/``total``/``min``/``max`` ride alongside the buckets, so
+the extreme quantiles (q=0, q=1) and the mean stay exact.
+
+:func:`percentile` is the repo-wide percentile helper built on top —
+one implementation shared by the service results path, the loop
+sanitizer and the benchmarks (previously each kept its own sorted-list
+version).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional, Sequence
+
+#: Default grid: 1 µs .. 1 Gs (covers latencies in seconds *and* rates
+#: in bytes/s on one grid), 32 geometric buckets per decade.
+DEFAULT_LO = 1e-6
+DEFAULT_HI = 1e9
+DEFAULT_BUCKETS_PER_DECADE = 32
+
+
+class QuantileDigest:
+    """Fixed-bucket geometric histogram with exact count/total/min/max.
+
+    Values at or below ``lo`` (including zeros and negatives) land in
+    the underflow bucket and are represented by the exact ``min``;
+    values above ``hi`` land in the overflow bucket and are represented
+    by the exact ``max``. Everything between maps to a geometric bucket
+    whose representative value is the bucket's geometric midpoint,
+    clamped into ``[min, max]``.
+    """
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "bins_per_decade",
+        "_nbins",
+        "_log_lo",
+        "_counts",
+        "count",
+        "total",
+        "min",
+        "max",
+    )
+
+    def __init__(
+        self,
+        lo: float = DEFAULT_LO,
+        hi: float = DEFAULT_HI,
+        bins_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+        if bins_per_decade < 1:
+            raise ValueError(
+                f"bins_per_decade must be >= 1, got {bins_per_decade}")
+        self.lo = lo
+        self.hi = hi
+        self.bins_per_decade = bins_per_decade
+        decades = math.log10(hi / lo)
+        # Geometric bins between lo and hi, plus underflow (index 0)
+        # and overflow (index nbins + 1).
+        self._nbins = max(1, math.ceil(decades * bins_per_decade))
+        self._log_lo = math.log10(lo)
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # --------------------------------------------------------- recording
+
+    def _bucket_of(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        if value > self.hi:
+            return self._nbins + 1
+        idx = 1 + int(
+            (math.log10(value) - self._log_lo) * self.bins_per_decade)
+        # log10 rounding can push an exact edge one bin out of range.
+        return min(max(idx, 1), self._nbins)
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Fold one sample (optionally pre-aggregated ``weight`` times)."""
+        if weight <= 0:
+            return
+        bucket = self._bucket_of(value)
+        self._counts[bucket] = self._counts.get(bucket, 0) + weight
+        self.count += weight
+        self.total += value * weight
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # ----------------------------------------------------------- queries
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _edge(self, idx: int) -> float:
+        """Upper edge of geometric bin ``idx`` (1-based)."""
+        return self.lo * 10.0 ** (idx / self.bins_per_decade)
+
+    def _representative(self, bucket: int) -> float:
+        if bucket == 0:
+            return self.min
+        if bucket == self._nbins + 1:
+            return self.max
+        lower = self._edge(bucket - 1)
+        upper = self._edge(bucket)
+        value = math.sqrt(lower * upper)
+        return min(max(value, self.min), self.max)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile (``q`` in [0, 1]); 0.0 when empty.
+
+        Matches the sorted-list nearest-rank convention this repo used
+        before (rank ``round(q * (n - 1))``), so q=0 is the exact min
+        and q=1 the exact max.
+        """
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = int(round(q * (self.count - 1)))
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if rank < seen:
+                return self._representative(bucket)
+        return self.max  # pragma: no cover - rank < count always hits
+
+    # ------------------------------------------------------------- merge
+
+    def compatible(self, other: "QuantileDigest") -> bool:
+        return (self.lo == other.lo and self.hi == other.hi
+                and self.bins_per_decade == other.bins_per_decade)
+
+    def merge(self, other: "QuantileDigest") -> "QuantileDigest":
+        """Fold ``other`` into ``self`` (exact; returns ``self``)."""
+        if not self.compatible(other):
+            raise ValueError(
+                f"incompatible digests: ({self.lo}, {self.hi}, "
+                f"{self.bins_per_decade}) vs ({other.lo}, {other.hi}, "
+                f"{other.bins_per_decade})")
+        for bucket, n in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    # ------------------------------------------------------------ export
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready state; ``from_dict`` round-trips it exactly."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins_per_decade": self.bins_per_decade,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(k): v
+                        for k, v in sorted(self._counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, state: Mapping[str, object]) -> "QuantileDigest":
+        lo = state["lo"]
+        hi = state["hi"]
+        bins = state["bins_per_decade"]
+        assert isinstance(lo, float) and isinstance(hi, float)
+        assert isinstance(bins, int)
+        digest = cls(lo=lo, hi=hi, bins_per_decade=bins)
+        buckets = state["buckets"]
+        assert isinstance(buckets, Mapping)
+        for key, n in buckets.items():
+            assert isinstance(n, int)
+            digest._counts[int(key)] = n
+        count = state["count"]
+        total = state["total"]
+        assert isinstance(count, int)
+        assert isinstance(total, (int, float))
+        digest.count = count
+        digest.total = float(total)
+        minimum = state.get("min")
+        maximum = state.get("max")
+        if isinstance(minimum, (int, float)):
+            digest.min = float(minimum)
+        if isinstance(maximum, (int, float)):
+            digest.max = float(maximum)
+        return digest
+
+    def summary(self) -> dict[str, float]:
+        """The report-friendly percentile block."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": self.max if self.count else 0.0,
+        }
+
+
+def digest_of(samples: Iterable[float],
+              lo: float = DEFAULT_LO,
+              hi: float = DEFAULT_HI,
+              bins_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+              ) -> QuantileDigest:
+    """Build a digest over ``samples`` in one call."""
+    digest = QuantileDigest(lo=lo, hi=hi, bins_per_decade=bins_per_decade)
+    digest.extend(samples)
+    return digest
+
+
+def percentile(samples: Sequence[float], q: float,
+               digest: Optional[QuantileDigest] = None) -> float:
+    """Shared percentile helper (``q`` in [0, 100]); 0.0 on empty input.
+
+    The repo-wide replacement for the per-module sorted-list versions:
+    folds ``samples`` through a :class:`QuantileDigest` (or a caller's
+    pre-built one) so every report path quotes percentiles from the same
+    implementation with the same error bound.
+    """
+    if digest is None:
+        if not samples:
+            return 0.0
+        digest = digest_of(samples)
+    elif samples:
+        digest.extend(samples)
+    return digest.quantile(q / 100.0)

@@ -1,0 +1,337 @@
+"""Distributed tracing: deterministic span trees across client & server.
+
+The paper's quality-adaptation decisions are causal — a client-visible
+stall traces back to a specific §2.2 drop evaluation on the server —
+but since the streaming service split the two ends into separate
+processes joined by UDP, nothing correlated them. This module is the
+correlation layer:
+
+- :class:`TraceContext` — a ``(trace_id, span_id)`` pair. In simulation
+  zones ids derive from the run seed via
+  :func:`~repro.sim.rng.derive_seed` (PYTHONHASHSEED-stable, so two
+  same-seed runs produce identical trace ids); in the service the
+  *client* derives the context from the fleet seed and session index
+  and carries it across the wire in the HELLO options, the server
+  echoes it in the WELCOME config, and from then on both ends stamp
+  spans into the same trace. DATA/ACK frames stay binary — they are
+  correlated to the trace via ``session_id`` + ``seq``.
+- :class:`Span` — one timed operation (``start``/``end`` on the
+  caller's clock; instant events have ``end == start``).
+- :class:`SpanRecorder` — the bounded sink. Producers bind a
+  :meth:`~SpanRecorder.span_hook` once per ``(source, context)`` and
+  get ``None`` when recording is disabled — the exact RL007 discipline
+  of ``FlightRecorder.hook`` and the metric hooks, so the hot path
+  stays free when tracing is off.
+
+This module never reads a clock (it lives in the RL001 ``telemetry``
+determinism zone): timestamps arrive as hook arguments — simulation
+time from the scenario builder, service-relative wall clock from the
+asyncio service. Span *ids* are deterministic in both cases: the n-th
+span recorded through a given hook always gets the same id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from collections import deque
+from typing import Callable, Iterator, Mapping, Optional, Union
+
+from repro.sim.rng import derive_seed
+
+#: ``(start, end, name, fields)`` — what a producer hands the recorder.
+#: Returns the new span's id so producers can link follow-up spans.
+#: The producer's identity (``source``) and trace membership
+#: (``TraceContext``) are bound into the hook itself.
+SpanHook = Callable[[float, float, str, Mapping[str, object]], str]
+
+#: Key under which a trace context travels in HELLO/WELCOME JSON
+#: options — absent entirely when tracing is off, so traced and
+#: untraced wire exchanges stay byte-compatible.
+TRACE_OPTION = "trace"
+
+_JSON_SEPARATORS = (",", ":")
+
+
+def _hex_id(seed: int, *parts: object) -> str:
+    """A 64-bit hex id from two :func:`derive_seed` halves.
+
+    ``derive_seed`` yields 31 bits; two independent derivations cover a
+    64-bit id space with the same PYTHONHASHSEED-stable property.
+    """
+    hi = derive_seed(seed, "hi", *parts)
+    lo = derive_seed(seed, "lo", *parts)
+    return f"{((hi << 33) | (lo << 2)) & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+def _is_hex_id(value: object) -> bool:
+    if not isinstance(value, str) or len(value) != 16:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+class TraceContext:
+    """One trace's identity plus the current parent span.
+
+    Immutable: :meth:`child` returns a new context under the same trace.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        if not _is_hex_id(trace_id) or not _is_hex_id(span_id):
+            raise ValueError(
+                f"trace ids must be 16 hex chars, got "
+                f"trace_id={trace_id!r} span_id={span_id!r}")
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    @classmethod
+    def derive(cls, seed: int, *parts: object) -> "TraceContext":
+        """Deterministic root context for ``(seed, *parts)``."""
+        return cls(_hex_id(seed, "trace", *parts),
+                   _hex_id(seed, "root", *parts))
+
+    def child(self, *parts: object) -> "TraceContext":
+        """A sub-context: same trace, new deterministic parent span."""
+        return TraceContext(
+            self.trace_id, _hex_id(int(self.span_id, 16), *parts))
+
+    # --------------------------------------------------------------- wire
+
+    def to_wire(self) -> dict[str, str]:
+        """The JSON payload carried under :data:`TRACE_OPTION`."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, options: Mapping[str, object]
+                  ) -> Optional["TraceContext"]:
+        """Recover a context from HELLO/WELCOME options; None if absent.
+
+        Malformed payloads (wrong types, bad hex) read as absent rather
+        than raising: a mistraced peer must not kill the session path.
+        """
+        payload = options.get(TRACE_OPTION)
+        if not isinstance(payload, Mapping):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not _is_hex_id(trace_id) or not _is_hex_id(span_id):
+            return None
+        assert isinstance(trace_id, str) and isinstance(span_id, str)
+        return cls(trace_id, span_id)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TraceContext)
+                and self.trace_id == other.trace_id
+                and self.span_id == other.span_id)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.trace_id}, {self.span_id})"
+
+
+class Span:
+    """One timed operation inside a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "source", "name",
+                 "start", "end", "fields")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: str,
+        source: str,
+        name: str,
+        start: float,
+        end: float,
+        fields: Mapping[str, object],
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.source = source
+        self.name = name
+        self.start = start
+        self.end = end
+        self.fields = dict(fields)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def instant(self) -> bool:
+        """True for point events (``end == start``)."""
+        return self.end <= self.start
+
+    def to_json(self) -> str:
+        """One deterministic JSON line (sorted keys, compact)."""
+        return json.dumps(
+            {
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "src": self.source,
+                "name": self.name,
+                "t0": round(self.start, 9),
+                "t1": round(self.end, 9),
+                "fields": self.fields,
+            },
+            sort_keys=True,
+            separators=_JSON_SEPARATORS,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, src={self.source!r}, "
+                f"t0={self.start:.6f}, t1={self.end:.6f})")
+
+
+class SpanRecorder:
+    """Bounded in-memory span sink with deterministic JSONL export.
+
+    Mirrors :class:`~repro.telemetry.recorder.FlightRecorder`: a ring
+    buffer (FIFO eviction, evictions counted), RL007 ``None``-hook
+    discipline when disabled, and bit-stable export. Span ids derive
+    from the owning trace id and a per-hook counter, so the n-th span a
+    hook records is identical across runs — bind one hook per
+    ``(source, context)`` pair to keep that property.
+    """
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._recorded = 0
+        self._by_source: dict[str, int] = {}
+
+    # ---------------------------------------------------------- recording
+
+    def span_hook(self, source: str,
+                  context: TraceContext) -> Optional[SpanHook]:
+        """A ``(start, end, name, fields)`` recording callable.
+
+        Returns ``None`` when the recorder is disabled; producers must
+        treat that as "don't even build the span" (RL007 — enforced for
+        ``span_hook`` results like every other telemetry hook).
+        """
+        if not self.enabled:
+            return None
+        trace_seed = int(context.trace_id, 16)
+        sequence = [0]
+
+        def _record(start: float, end: float, name: str,
+                    fields: Mapping[str, object]) -> str:
+            span_id = _hex_id(trace_seed, source, sequence[0])
+            sequence[0] += 1
+            self._append(Span(
+                context.trace_id, span_id, context.span_id,
+                source, name, start, end, fields))
+            return span_id
+
+        return _record
+
+    def _append(self, span: Span) -> None:
+        self._spans.append(span)
+        self._recorded += 1
+        self._by_source[span.source] = (
+            self._by_source.get(span.source, 0) + 1)
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    @property
+    def total_recorded(self) -> int:
+        """Spans ever accepted (retained + evicted)."""
+        return self._recorded
+
+    @property
+    def evicted(self) -> int:
+        return self._recorded - len(self._spans)
+
+    def recorded_for(self, source: str) -> int:
+        """Spans ever recorded by ``source`` (survives eviction)."""
+        return self._by_source.get(source, 0)
+
+    def spans_of(self, name: Optional[str] = None,
+                 source: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> list[Span]:
+        """Retained spans filtered by name / source / trace."""
+        return [
+            s for s in self._spans
+            if (name is None or s.name == name)
+            and (source is None or s.source == source)
+            and (trace_id is None or s.trace_id == trace_id)
+        ]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids among retained spans, sorted."""
+        return sorted({s.trace_id for s in self._spans})
+
+    # ------------------------------------------------------------- export
+
+    def to_jsonl(self) -> str:
+        if not self._spans:
+            return ""
+        return "\n".join(s.to_json() for s in self._spans) + "\n"
+
+    def digest(self) -> str:
+        """sha256 of :meth:`to_jsonl` — the trace's fingerprint."""
+        return hashlib.sha256(self.to_jsonl().encode()).hexdigest()
+
+    def write_jsonl(self, path: Union[str, pathlib.Path]
+                    ) -> Optional[pathlib.Path]:
+        """Write span JSONL; a disabled recorder writes nothing."""
+        if not self.enabled:
+            return None
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_jsonl())
+        return target
+
+    def summary(self) -> dict[str, object]:
+        """Manifest-ready block (counts, traces, sha256)."""
+        names: dict[str, int] = {}
+        for span in self._spans:
+            names[span.name] = names.get(span.name, 0) + 1
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "recorded": self.total_recorded,
+            "retained": len(self._spans),
+            "evicted": self.evicted,
+            "traces": len(self.trace_ids()),
+            "names": dict(sorted(names.items())),
+            "digest": self.digest(),
+        }
+
+
+def merge_spans(*recorders: Optional[SpanRecorder]) -> list[Span]:
+    """Deterministically merge span streams from several recorders.
+
+    ``None`` and disabled recorders are skipped, so callers can pass
+    client and server recorders unconditionally. The order is total
+    (trace, time, source, id): same inputs, same merged list.
+    """
+    merged: list[Span] = []
+    for recorder in recorders:
+        if recorder is not None and recorder.enabled:
+            merged.extend(recorder)
+    merged.sort(key=lambda s: (s.trace_id, s.start, s.end, s.source,
+                               s.span_id))
+    return merged

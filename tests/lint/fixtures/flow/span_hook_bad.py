@@ -1,0 +1,38 @@
+"""Span-hook mutations: RL007's tracing extension (span_hook factory)."""
+
+
+class SessionLike:
+    def __init__(self, spans, context) -> None:
+        self._span = spans.span_hook("session1", context)
+        self._tick_span = spans.span_hook("session1.tick", context)
+
+    def unguarded_attr(self, now) -> None:
+        self._span(now, now, "pacer.backoff", {"rate": 1000.0})
+
+    def guarded_attr(self, now) -> None:
+        if self._span is not None:
+            self._span(now, now, "pacer.backoff", {"rate": 1000.0})
+
+    def local_from_attr(self, t0, t1) -> None:
+        span = self._tick_span
+        span(t0, t1, "qa.tick", {"active": 3})
+
+    def local_from_attr_guarded(self, t0, t1) -> None:
+        span = self._tick_span
+        if span is not None:
+            span(t0, t1, "qa.tick", {"active": 3})
+
+
+def direct_span(spans, context) -> None:
+    spans.span_hook("client", context)(0.0, 1.0, "session", {})
+
+
+def local_span(spans, context) -> None:
+    record = spans.span_hook("client", context)
+    record(0.0, 1.0, "handshake", {})
+
+
+def local_span_guarded(spans, context) -> None:
+    record = spans.span_hook("client", context)
+    if record is not None:
+        record(0.0, 1.0, "handshake", {})

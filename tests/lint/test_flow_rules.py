@@ -86,6 +86,10 @@ class TestTelemetryCostRule:
             ("metric_hook_bad.py", 18, 8),  # unguarded local from attr
             ("metric_hook_bad.py", 27, 4),  # gauge_hook()(...) directly
             ("metric_hook_bad.py", 32, 4),  # unguarded recorder hook
+            ("span_hook_bad.py", 10, 8),  # unguarded span-hook attr
+            ("span_hook_bad.py", 18, 8),  # unguarded local from attr
+            ("span_hook_bad.py", 27, 4),  # span_hook()(...) directly
+            ("span_hook_bad.py", 32, 4),  # unguarded local span hook
         ]
         assert "self.on_event" in violations[0].message
         assert "event_hook() result called" in violations[1].message
@@ -94,6 +98,18 @@ class TestTelemetryCostRule:
         assert "hook 'hook'" in violations[4].message
         assert "gauge_hook() result called" in violations[5].message
         assert "hook 'record'" in violations[6].message
+        assert "self._span" in violations[7].message
+        assert "hook 'span'" in violations[8].message
+        assert "span_hook() result called" in violations[9].message
+        assert "hook 'record'" in violations[10].message
+
+    def test_guarded_span_hooks_are_silent(self):
+        # span_hook_bad.py: guarded attr (14), guarded local from attr
+        # (23), guarded local from factory (38) must not fire.
+        found, _ = locations(TelemetryCostRule())
+        flagged = {line for name, line, _ in found
+                   if name == "span_hook_bad.py"}
+        assert flagged.isdisjoint({14, 23, 38})
 
     def test_guarded_calls_are_silent(self):
         # hook_bad.py: is-not-None, truthy, early-return and assert

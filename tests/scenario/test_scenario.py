@@ -103,3 +103,47 @@ def test_summary_lists_every_flow_rate():
     assert summary["n_flows"] == 2
     assert "rate_video" in summary and "rate_web" in summary
     assert 0.0 < summary["fairness"] <= 1.0
+
+
+def test_trace_spans_are_deterministic_across_runs():
+    def digest():
+        scenario = Scenario(ScenarioConfig(
+            flows=(QAFlowSpec(), QAFlowSpec()), topology=FAST_LINK,
+            duration=3.0, seed=7, trace_spans=True))
+        scenario.run()
+        return scenario.spans.digest(), scenario.spans.trace_ids()
+
+    first_digest, first_ids = digest()
+    second_digest, second_ids = digest()
+    assert first_digest == second_digest
+    assert first_ids == second_ids
+    assert len(first_ids) == 2  # one trace per QA flow
+
+
+def test_trace_spans_cover_ticks_and_decisions():
+    scenario = Scenario(ScenarioConfig(
+        flows=(QAFlowSpec(),), topology=FAST_LINK,
+        duration=3.0, trace_spans=True))
+    scenario.run()
+    names = {s.name for s in scenario.spans}
+    assert "qa.tick" in names
+    assert "qa.add_eval" in names
+    assert scenario.observability()["spans"]["recorded"] > 0
+
+
+def test_trace_spans_off_is_free_and_absent_from_observability():
+    scenario = Scenario(ScenarioConfig(
+        flows=(QAFlowSpec(),), topology=FAST_LINK, duration=2.0))
+    scenario.run()
+    assert len(scenario.spans) == 0
+    assert "spans" not in scenario.observability()
+
+
+def test_span_presence_does_not_change_flow_outcomes():
+    def rates(trace_spans):
+        scenario = Scenario(ScenarioConfig(
+            flows=(QAFlowSpec(), QAFlowSpec()), topology=FAST_LINK,
+            duration=4.0, seed=3, trace_spans=trace_spans))
+        return [f.bytes_delivered for f in scenario.run().flows]
+
+    assert rates(False) == rates(True)

@@ -136,3 +136,84 @@ class TestTapeReplay:
         assert fake.rate == 2.0
         with pytest.raises(IndexError):
             _ = fake.rate
+
+
+class TestSpanHook:
+    """Tracing hooks on the core: spans record, replays stay intact."""
+
+    def _traced_run(self, sim, config, spans):
+        from repro.telemetry.tracing import TraceContext
+        net = Dumbbell(sim, DumbbellConfig(
+            n_pairs=2, bottleneck_bandwidth=30_000,
+            queue_capacity_packets=15))
+        src, dst = net.pair(0)
+        tape = SessionTape()
+        recorder = FlightRecorder()
+        context = TraceContext.derive(1, "core-test")
+        core = SessionCore(
+            config, now_fn=lambda: sim.now,
+            on_event=recorder.hook("qa"), tape=tape,
+            span_hook=(spans.span_hook("qa", context)
+                       if spans is not None else None))
+        rap = RapSource(sim, src, dst.name,
+                        packet_size=config.packet_size,
+                        payload_picker=core.pick_payload,
+                        on_ack=core.on_ack, on_loss=core.on_loss,
+                        on_backoff=core.on_backoff)
+        core.bind_transport(rap)
+        PeriodicSampler(sim, config.drain_period,
+                        lambda _now: core.tick())
+        RapSink(sim, dst, src.name, rap.flow_id)
+        bg = RapSource(sim, *[net.pair(1)[0], net.pair(1)[1].name],
+                       packet_size=config.packet_size)
+        RapSink(sim, net.pair(1)[1], net.pair(1)[0].name, bg.flow_id)
+        sim.run(until=10.0)
+        return core, tape, recorder
+
+    def test_spans_record_ticks_and_decisions(self, sim, config):
+        from repro.telemetry.tracing import SpanRecorder
+        spans = SpanRecorder()
+        core, _, recorder = self._traced_run(sim, config, spans)
+        names = {s.name for s in spans}
+        assert "qa.tick" in names
+        ticks = spans.spans_of(name="qa.tick")
+        assert all(s.end >= s.start for s in ticks)
+        # Every decision record has a twin qa.* instant span.
+        decisions = sum(1 for s in spans if s.name != "qa.tick")
+        assert decisions == recorder.total_recorded
+
+    def test_traced_tape_replays_bit_identically_without_spans(
+            self, sim, config):
+        from repro.telemetry.tracing import SpanRecorder
+        # The span hook reads the raw clock, never the taped one — so
+        # a tape cut while tracing replays cleanly with tracing off.
+        core, tape, live = self._traced_run(
+            sim, config, SpanRecorder())
+        assert live.total_recorded > 0
+        replayed = FlightRecorder()
+        twin = SessionCore.replay(tape, config,
+                                  on_event=replayed.hook("qa"))
+        assert replayed.digest() == live.digest()
+        assert twin.active_layers == core.active_layers
+
+    def test_span_hook_alone_still_feeds_decisions_into_spans(
+            self, sim, config):
+        from repro.telemetry.tracing import SpanRecorder, TraceContext
+        spans = SpanRecorder()
+        core = SessionCore(
+            QAConfig(layer_rate=8_000.0, max_layers=2,
+                     packet_size=500),
+            now_fn=lambda: sim.now,
+            span_hook=spans.span_hook(
+                "qa", TraceContext.derive(2, "solo")))
+
+        class _Still:
+            rate = 8_000.0
+            slope = 100.0
+
+        core.bind_transport(_Still())
+        # No real controller: just tick the idle core a few times.
+        for _ in range(3):
+            sim.run(until=sim.now + 0.1)
+            core.tick()
+        assert len(spans.spans_of(name="qa.tick")) == 3

@@ -1,0 +1,137 @@
+"""Tests for the shared streaming quantile digest."""
+
+import json
+import math
+
+import pytest
+
+from repro.sim.rng import make_rng
+from repro.telemetry.digest import QuantileDigest, digest_of, percentile
+
+
+def sorted_nearest_rank(samples, q):
+    """The old per-module sorted-list convention the digest replaces."""
+    ordered = sorted(samples)
+    rank = int(round((q / 100.0) * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+class TestQuantileDigest:
+    def test_rejects_bad_grids(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(lo=0.0)
+        with pytest.raises(ValueError):
+            QuantileDigest(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            QuantileDigest(bins_per_decade=0)
+
+    def test_empty_digest_quantile_is_zero(self):
+        digest = QuantileDigest()
+        assert digest.quantile(0.5) == 0.0
+        assert digest.mean == 0.0
+        assert digest.count == 0
+
+    def test_extremes_are_exact(self):
+        digest = digest_of([0.003, 7.5, 0.04, 120.0])
+        assert digest.quantile(0.0) == 0.003
+        assert digest.quantile(1.0) == 120.0
+        assert digest.min == 0.003
+        assert digest.max == 120.0
+        assert digest.mean == pytest.approx(
+            (0.003 + 7.5 + 0.04 + 120.0) / 4)
+
+    def test_quantiles_track_sorted_list_within_bucket_error(self):
+        rng = make_rng(202)
+        samples = [rng.expovariate(1.0 / 0.05) + 1e-4
+                   for _ in range(5000)]
+        digest = digest_of(samples)
+        for q in (10.0, 50.0, 90.0, 99.0):
+            exact = sorted_nearest_rank(samples, q)
+            approx = digest.quantile(q / 100.0)
+            # one geometric bucket at 32/decade is a ~7.5% wide band;
+            # representative = midpoint, so error <= ~3.7%.
+            assert abs(approx - exact) / exact < 0.04
+
+    def test_zeros_and_negatives_go_underflow_and_use_exact_min(self):
+        digest = digest_of([0.0, -3.0, 5.0])
+        assert digest.min == -3.0
+        assert digest.quantile(0.0) == -3.0
+        assert digest.count == 3
+
+    def test_overflow_uses_exact_max(self):
+        digest = digest_of([1e12, 1e13])
+        assert digest.quantile(0.5) in (1e12, 1e13)
+        assert digest.quantile(1.0) == 1e13
+
+    def test_weighted_add(self):
+        a = QuantileDigest()
+        a.add(2.0, weight=10)
+        b = QuantileDigest()
+        for _ in range(10):
+            b.add(2.0)
+        assert a.count == b.count
+        assert a.total == b.total
+        assert a.to_dict() == b.to_dict()
+
+    def test_merge_equals_concatenated_stream(self):
+        rng = make_rng(7)
+        xs = [rng.uniform(0.001, 10.0) for _ in range(400)]
+        ys = [rng.uniform(0.001, 10.0) for _ in range(300)]
+        merged = digest_of(xs).merge(digest_of(ys))
+        together = digest_of(xs + ys)
+        assert merged.to_dict() == together.to_dict()
+
+    def test_merge_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError):
+            QuantileDigest().merge(QuantileDigest(bins_per_decade=16))
+
+    def test_dict_round_trip_is_exact(self):
+        digest = digest_of([0.01, 0.5, 2.0, 1e11, -1.0])
+        state = json.loads(json.dumps(digest.to_dict()))
+        back = QuantileDigest.from_dict(state)
+        assert back.to_dict() == digest.to_dict()
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert back.quantile(q) == digest.quantile(q)
+
+    def test_two_same_input_digests_are_identical(self):
+        xs = [0.1 * i + 0.001 for i in range(100)]
+        assert digest_of(xs).to_dict() == digest_of(xs).to_dict()
+
+    def test_summary_keys(self):
+        summary = digest_of([1.0, 2.0, 3.0]).summary()
+        assert set(summary) == {
+            "count", "mean", "min", "p50", "p90", "p99", "max"}
+        assert summary["count"] == 3.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_memory_is_bounded_by_grid(self):
+        digest = QuantileDigest()
+        rng = make_rng(9)
+        for _ in range(20000):
+            digest.add(rng.uniform(1e-5, 1e8))
+        assert len(digest._counts) <= digest._nbins + 2
+
+
+class TestPercentileHelper:
+    def test_empty_is_zero(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_endpoints_exact(self):
+        xs = [5.0, 1.0, 3.0]
+        assert percentile(xs, 0.0) == 1.0
+        assert percentile(xs, 100.0) == 5.0
+
+    def test_matches_old_convention_within_error(self):
+        rng = make_rng(55)
+        xs = [rng.uniform(0.001, 1.0) for _ in range(1000)]
+        for q in (50.0, 90.0, 99.0):
+            exact = sorted_nearest_rank(xs, q)
+            assert math.isclose(percentile(xs, q), exact, rel_tol=0.04)
+
+    def test_caller_supplied_digest_accumulates(self):
+        digest = QuantileDigest()
+        percentile([1.0, 2.0], 50.0, digest=digest)
+        out = percentile([3.0], 100.0, digest=digest)
+        assert digest.count == 3
+        assert out == 3.0
